@@ -1,0 +1,55 @@
+"""Footnote-1 ablation — participant-participant edges in the social view.
+
+Sec. II-C2's footnote: "We have verified that the variant of
+incorporating the edges between participants even has slightly poor
+performance."  This bench trains MGBR with and without p-p edges in
+``G_UP`` and reports both tasks, reproducing that design-choice
+verification.
+
+Assertion is deliberately soft (the effect is "slight" in the paper):
+the variant must not *beat* the default by a large margin on Task B.
+"""
+
+from conftest import BENCH_EPOCHS, bench_dataset, mgbr_bench_config, write_result
+
+from repro.core import MGBR
+from repro.eval import evaluate_model
+from repro.training import TrainConfig, Trainer
+
+
+def _train(dataset, include_pp: bool):
+    config = mgbr_bench_config(include_participant_edges=include_pp)
+    model = MGBR(dataset.train, dataset.n_users, dataset.n_items, config=config)
+    tc = TrainConfig.from_mgbr(
+        config, epochs=BENCH_EPOCHS,
+        eval_every=4, restore_best=True, eval_max_instances=100,
+    )
+    Trainer(model, dataset, tc).fit()
+    return evaluate_model(model, dataset, protocols=((9, 10),), max_instances=200)["@10"]
+
+
+def test_footnote1_participant_edges(benchmark, bench_dataset):
+    """Regenerate the footnote-1 comparison."""
+
+    def run():
+        return {
+            "without p-p edges (paper)": _train(bench_dataset, False),
+            "with p-p edges (variant)": _train(bench_dataset, True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["FOOTNOTE 1 — PARTICIPANT-PARTICIPANT EDGES IN G_UP"]
+    for name, res in results.items():
+        lines.append(
+            f"{name:28s} A-MRR@10 {res.task_a['MRR@10']:.4f}  "
+            f"B-MRR@10 {res.task_b['MRR@10']:.4f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("footnote1_pp_edges.txt", text)
+
+    default_b = results["without p-p edges (paper)"].task_b["MRR@10"]
+    variant_b = results["with p-p edges (variant)"].task_b["MRR@10"]
+    # "Slightly poor": the variant must not dominate the default.
+    assert variant_b <= default_b * 1.15

@@ -1,0 +1,125 @@
+"""Table IV — ablation study of MGBR's components.
+
+Trains the five ablated variants plus full MGBR with identical budgets
+and reports both tasks' metric grids with relative drops versus MGBR.
+
+Paper reference values (Beibei, MRR@10):
+
+    variant    Task A   Task B
+    MGBR-M-R   0.2531   0.2344
+    MGBR-M     0.2607   0.2471
+    MGBR-G     0.6126   0.4707
+    MGBR-R     0.4228   0.4769
+    MGBR-D     0.5189   0.4494
+    MGBR       0.6401   0.6484
+
+Shape notes (see EXPERIMENTS.md for the honest ledger):
+
+* The **auxiliary-loss ablation (-R)** reproduces directly: removing
+  ``L'_A``/``L'_B`` costs Task-B accuracy — asserted below.  This is the
+  paper's Sec. III-F point 2.
+* The **shared-experts ablation (-M)** produces its catastrophic paper
+  gap only in sparse/noisy signal regimes (Beibei), where the shared
+  bank regularises conflicting task gradients.  On the dense synthetic
+  substrate the simpler towers remain competitive, so the bench asserts
+  architecture-level facts (parameter deltas, trainability) and
+  *records* the metric deltas rather than asserting their sign.
+* All variants must remain healthy learners (beat random ranking on
+  both tasks) — an ablation that diverges would void the comparison.
+"""
+
+import pytest
+from conftest import build_model, metrics_row, train_and_evaluate, write_result
+
+RANDOM_MRR10 = sum(1.0 / r for r in range(1, 11)) / 10  # ≈ 0.2929
+
+VARIANT_ORDER = ["MGBR-M-R", "MGBR-M", "MGBR-G", "MGBR-R", "MGBR-D", "MGBR"]
+
+
+@pytest.fixture(scope="module")
+def table4_results(bench_dataset):
+    results = {}
+    for name in VARIANT_ORDER:
+        _, results[name] = train_and_evaluate(name, bench_dataset)
+    return results
+
+
+def _drop(results, name, task, metric="MRR@10"):
+    full = getattr(results["MGBR"]["@10"], task)[metric]
+    ours = getattr(results[name]["@10"], task)[metric]
+    return 100.0 * (ours - full) / full
+
+
+def test_table4_ablation_study(benchmark, bench_dataset, table4_results):
+    """Regenerate Table IV with relative drops."""
+
+    def report():
+        lines = [
+            "TABLE IV — ABLATION COMPARISONS",
+            "(per task: MRR@10 NDCG@10 MRR@100 NDCG@100; R.Drop on MRR@10)",
+        ]
+        for name in VARIANT_ORDER:
+            row = metrics_row(name, table4_results[name])
+            if name != "MGBR":
+                row += (
+                    f"   R.Drop A {_drop(table4_results, name, 'task_a'):+.1f}%"
+                    f"  B {_drop(table4_results, name, 'task_b'):+.1f}%"
+                )
+            lines.append(row)
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("table4_ablation.txt", text)
+
+    # Every variant is a healthy learner on both tasks.
+    for name in VARIANT_ORDER:
+        r10 = table4_results[name]["@10"]
+        assert r10.task_a["MRR@10"] > RANDOM_MRR10, name
+        assert r10.task_b["MRR@10"] > RANDOM_MRR10, name
+
+
+def test_table4_aux_losses_help_task_b(table4_results):
+    """Sec. III-F.2: removing L'_A/L'_B (MGBR-R) hurts Task B."""
+    full_b = table4_results["MGBR"]["@10"].task_b["MRR@10"]
+    ablated_b = table4_results["MGBR-R"]["@10"].task_b["MRR@10"]
+    assert ablated_b < full_b
+
+
+def test_table4_architecture_deltas(bench_dataset):
+    """Structural facts behind Table IV's variant column.
+
+    -M and -G remove parameters; -R keeps the architecture but changes
+    only the objective; -D swaps three GCNs for one HIN GCN.
+    """
+    full = build_model("MGBR", bench_dataset)
+    m = build_model("MGBR-M", bench_dataset)
+    g = build_model("MGBR-G", bench_dataset)
+    r = build_model("MGBR-R", bench_dataset)
+    d = build_model("MGBR-D", bench_dataset)
+    assert m.num_parameters() < full.num_parameters()
+    assert g.num_parameters() < full.num_parameters()
+    assert r.num_parameters() == full.num_parameters()
+    assert not r.supports_aux_losses and full.supports_aux_losses
+    from repro.core.views import HINEmbedding
+
+    assert isinstance(d.encoder, HINEmbedding)
+
+
+def test_table4_report_m_family(table4_results):
+    """Record (not assert) the shared-experts deltas with context.
+
+    At paper scale -M collapses; at this dense synthetic scale the
+    two-tower variant stays competitive.  The bench records the signed
+    deltas so EXPERIMENTS.md can track them across substrate changes.
+    """
+    text_lines = []
+    for name in ("MGBR-M", "MGBR-M-R"):
+        text_lines.append(
+            f"{name}: dA={_drop(table4_results, name, 'task_a'):+.2f}% "
+            f"dB={_drop(table4_results, name, 'task_b'):+.2f}%"
+        )
+    write_result("table4_m_family_deltas.txt", "\n".join(text_lines))
+    # The recorded values must at least be finite real numbers.
+    for name in ("MGBR-M", "MGBR-M-R"):
+        assert abs(_drop(table4_results, name, "task_b")) < 500

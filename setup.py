@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so pip's PEP 517
+editable path (which builds an editable wheel) fails.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
+``setup.py develop`` route, which needs no wheel.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

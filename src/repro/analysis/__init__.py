@@ -1,0 +1,32 @@
+"""``repro.analysis`` — model scale, timing and hyper-parameter sweeps.
+
+Supports Table V (parameter counts and minutes/epoch) and Figs. 4/5
+(auxiliary-loss-weight and gate-coefficient sweeps).
+"""
+
+from repro.analysis.multiseed import MultiSeedResult, SeedRun, run_multiseed
+from repro.analysis.params import count_parameters, format_param_table, parameter_breakdown
+from repro.analysis.sweeps import (
+    SweepPoint,
+    SweepResult,
+    aux_weight_sweep,
+    gate_coefficient_sweep,
+    run_sweep,
+)
+from repro.analysis.timing import EpochTiming, time_training_epoch
+
+__all__ = [
+    "count_parameters",
+    "parameter_breakdown",
+    "format_param_table",
+    "EpochTiming",
+    "time_training_epoch",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "aux_weight_sweep",
+    "gate_coefficient_sweep",
+    "run_multiseed",
+    "MultiSeedResult",
+    "SeedRun",
+]

@@ -1,0 +1,89 @@
+"""Multi-seed experiment runs — the paper's "average of three runnings".
+
+Table III reports each model's mean over three runs.  This module
+retrains a model-builder over a seed list and aggregates every metric
+into mean ± std, so benchmark tables can quote the same statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import GroupBuyingDataset
+from repro.eval.protocol import evaluate_model
+from repro.training.trainer import TrainConfig, Trainer
+from repro.utils.logging import get_logger
+
+__all__ = ["SeedRun", "MultiSeedResult", "run_multiseed"]
+
+logger = get_logger("analysis.multiseed")
+
+
+@dataclass(frozen=True)
+class SeedRun:
+    """Metrics from one seed's full train+evaluate cycle."""
+
+    seed: int
+    metrics: Dict[str, float]
+
+
+@dataclass
+class MultiSeedResult:
+    """Aggregated metrics over several seeds."""
+
+    runs: List[SeedRun] = field(default_factory=list)
+
+    def mean(self, metric: str) -> float:
+        """Mean of ``metric`` across runs."""
+        return float(np.mean([r.metrics[metric] for r in self.runs]))
+
+    def std(self, metric: str) -> float:
+        """Population std of ``metric`` across runs."""
+        return float(np.std([r.metrics[metric] for r in self.runs]))
+
+    def summary(self) -> Dict[str, str]:
+        """``metric -> "mean±std"`` over every metric seen in run 0."""
+        if not self.runs:
+            raise ValueError("no runs recorded")
+        return {
+            key: f"{self.mean(key):.4f}±{self.std(key):.4f}"
+            for key in self.runs[0].metrics
+        }
+
+
+def run_multiseed(
+    model_builder: Callable[[int], object],
+    dataset: GroupBuyingDataset,
+    train_config_builder: Callable[[int], TrainConfig],
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[tuple] = ((9, 10),),
+    eval_max_instances: Optional[int] = 200,
+) -> MultiSeedResult:
+    """Train ``model_builder(seed)`` per seed and aggregate metrics.
+
+    Parameters
+    ----------
+    model_builder: seed -> fresh model instance.
+    dataset: shared data (candidate lists stay fixed across seeds — the
+        variance measured is *model* variance, as in the paper).
+    train_config_builder: seed -> TrainConfig (so batch order varies too).
+    seeds: paper uses three runs.
+    protocols / eval_max_instances: forwarded to the evaluator.
+    """
+    result = MultiSeedResult()
+    for seed in seeds:
+        model = model_builder(seed)
+        Trainer(model, dataset, train_config_builder(seed)).fit()
+        evaluation = evaluate_model(
+            model, dataset, protocols=protocols, max_instances=eval_max_instances
+        )
+        metrics: Dict[str, float] = {}
+        for cutoff, res in evaluation.items():
+            for key, value in res.flat().items():
+                metrics[f"{key}"] = value
+        logger.info("seed %d -> %s", seed, metrics)
+        result.runs.append(SeedRun(seed=int(seed), metrics=metrics))
+    return result

@@ -1,0 +1,123 @@
+"""Hyper-parameter sweep drivers — the machinery behind Figs. 4 and 5.
+
+Fig. 4 varies the auxiliary-loss weights ``β_A = β_B`` over
+{0.1, …, 0.5}; Fig. 5 varies the adjusted-gate coefficients
+``α_A = α_B`` over {0.05, 0.1, 0.2, 0.3}.  Each sweep point retrains a
+fresh MGBR from the same seed and reports both tasks' MRR/NDCG, exactly
+the curves the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MGBRConfig
+from repro.core.model import MGBR
+from repro.data.schema import GroupBuyingDataset
+from repro.eval.protocol import evaluate_model
+from repro.training.trainer import TrainConfig, Trainer
+from repro.utils.logging import get_logger
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "aux_weight_sweep", "gate_coefficient_sweep"]
+
+logger = get_logger("analysis.sweeps")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One retrained configuration and its evaluation metrics."""
+
+    value: float
+    metrics: Dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, ordered by the swept value."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[float]:
+        """The metric values across the sweep (figure y-axis)."""
+        return [p.metrics[metric] for p in self.points]
+
+    def values(self) -> List[float]:
+        """The swept parameter values (figure x-axis)."""
+        return [p.value for p in self.points]
+
+    def best(self, metric: str) -> SweepPoint:
+        """Sweep point maximising ``metric``."""
+        return max(self.points, key=lambda p: p.metrics[metric])
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[float],
+    dataset: GroupBuyingDataset,
+    base_config: MGBRConfig,
+    epochs: int = 10,
+    eval_max_instances: Optional[int] = 200,
+    tie_parameters: Sequence[str] = (),
+) -> SweepResult:
+    """Retrain MGBR for each value of ``parameter`` and evaluate.
+
+    Parameters
+    ----------
+    parameter: MGBRConfig field to vary (e.g. ``"beta_a"``).
+    values: swept values.
+    dataset: train/evaluate source.
+    base_config: all other hyper-parameters (seed included — every point
+        starts from identical initialisation, isolating the parameter).
+    epochs: training epochs per point.
+    eval_max_instances: evaluation subsample cap (None = all).
+    tie_parameters: additional config fields set to the same value
+        (Fig. 4 ties β_A=β_B; Fig. 5 ties α_A=α_B).
+    """
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        overrides = {parameter: value}
+        for tied in tie_parameters:
+            overrides[tied] = value
+        config = base_config.replace(**overrides)
+        model = MGBR(dataset.train, dataset.n_users, dataset.n_items, config=config)
+        trainer = Trainer(model, dataset, TrainConfig.from_mgbr(config, epochs=epochs))
+        trainer.fit()
+        evaluation = evaluate_model(
+            model, dataset, protocols=((9, 10),), max_instances=eval_max_instances
+        )["@10"]
+        metrics = evaluation.flat()
+        logger.info("sweep %s=%.3g -> %s", parameter, value, metrics)
+        result.points.append(SweepPoint(value=value, metrics=metrics))
+    return result
+
+
+def aux_weight_sweep(
+    dataset: GroupBuyingDataset,
+    base_config: MGBRConfig,
+    values: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    epochs: int = 10,
+    eval_max_instances: Optional[int] = 200,
+) -> SweepResult:
+    """Fig. 4: sweep the tied auxiliary-loss weights β_A = β_B."""
+    return run_sweep(
+        "beta_a", values, dataset, base_config,
+        epochs=epochs, eval_max_instances=eval_max_instances,
+        tie_parameters=("beta_b",),
+    )
+
+
+def gate_coefficient_sweep(
+    dataset: GroupBuyingDataset,
+    base_config: MGBRConfig,
+    values: Sequence[float] = (0.05, 0.1, 0.2, 0.3),
+    epochs: int = 10,
+    eval_max_instances: Optional[int] = 200,
+) -> SweepResult:
+    """Fig. 5: sweep the tied adjusted-gate coefficients α_A = α_B."""
+    return run_sweep(
+        "alpha_a", values, dataset, base_config,
+        epochs=epochs, eval_max_instances=eval_max_instances,
+        tie_parameters=("alpha_b",),
+    )

@@ -1,0 +1,66 @@
+"""Epoch-timing measurement — the minutes/epoch column of Table V.
+
+Wall-clock timing of complete training epochs through the real
+:class:`repro.training.Trainer` (not microbenchmarks), so the relative
+ordering reflects exactly what the paper measured: MGBR slowest (expert
+/gate stack), MF models fastest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.schema import GroupBuyingDataset
+from repro.training.trainer import TrainConfig, Trainer
+
+__all__ = ["EpochTiming", "time_training_epoch"]
+
+
+@dataclass(frozen=True)
+class EpochTiming:
+    """Result of timing ``n_epochs`` real training epochs."""
+
+    model_name: str
+    n_parameters: int
+    seconds_per_epoch: float
+    n_epochs: int
+
+    @property
+    def minutes_per_epoch(self) -> float:
+        """Table V reports minutes; convert for the printed row."""
+        return self.seconds_per_epoch / 60.0
+
+
+def time_training_epoch(
+    model,
+    dataset: GroupBuyingDataset,
+    config: Optional[TrainConfig] = None,
+    n_epochs: int = 1,
+    warmup_epochs: int = 0,
+) -> EpochTiming:
+    """Measure mean wall-clock seconds per training epoch.
+
+    Parameters
+    ----------
+    model / dataset / config: as for :class:`repro.training.Trainer`.
+    n_epochs: epochs to average over.
+    warmup_epochs: untimed epochs first (JIT-free NumPy makes warmup
+        nearly irrelevant, but cache effects exist on first touch).
+    """
+    if n_epochs < 1:
+        raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+    trainer = Trainer(model, dataset, config)
+    for _ in range(warmup_epochs):
+        trainer.train_epoch()
+    started = time.perf_counter()
+    for _ in range(n_epochs):
+        trainer.train_epoch()
+    elapsed = (time.perf_counter() - started) / n_epochs
+    return EpochTiming(
+        model_name=type(model).__name__,
+        n_parameters=model.num_parameters(),
+        seconds_per_epoch=elapsed,
+        n_epochs=n_epochs,
+    )

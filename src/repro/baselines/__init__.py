@@ -1,0 +1,27 @@
+"""``repro.baselines`` — the six comparison models of Table III.
+
+All were re-implemented on the NumPy substrate and tailored to the two
+group-buying sub-tasks exactly as the paper describes (Sec. III-B):
+Task A is ordinary item scoring; Task B scores a candidate participant
+by the inner product of the participant's and initiator's user
+representations (role-specific ones where the model has them).
+"""
+
+from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender
+from repro.baselines.deepmf import DeepMF
+from repro.baselines.diffnet import DiffNet
+from repro.baselines.eatnn import EATNN
+from repro.baselines.gbgcn import GBGCN
+from repro.baselines.gbmf import GBMF
+from repro.baselines.ngcf import NGCF
+
+__all__ = [
+    "GroupBuyingRecommender",
+    "EmbeddingBundle",
+    "DeepMF",
+    "NGCF",
+    "DiffNet",
+    "EATNN",
+    "GBGCN",
+    "GBMF",
+]

@@ -1,0 +1,143 @@
+"""Common interface for all group-buying recommenders.
+
+Every model in this repository — MGBR, its ablation variants, and the six
+baselines — implements the same contract so the trainer, the evaluation
+protocol and the benchmark harness treat them uniformly:
+
+* :meth:`compute_embeddings` builds the differentiable entity
+  representations (one full forward of whatever encoder the model uses);
+* :meth:`score_items_from` / :meth:`score_participants_from` score Task A
+  pairs and Task B triples *given* those embeddings, so one encoder pass
+  is shared across positives, negatives, and both tasks within a
+  training step;
+* :meth:`score_items` / :meth:`score_participants` are the stateless
+  public equivalents used by evaluation (they reuse a cached encoder
+  pass created by :meth:`refresh_cache` when available).
+
+Baselines that were not designed for Task B inherit the paper's
+tailoring (Sec. III-B): the participant score is the inner product of
+the participant's and the initiator's user embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, take_rows
+
+__all__ = ["EmbeddingBundle", "GroupBuyingRecommender"]
+
+
+@dataclass
+class EmbeddingBundle:
+    """Entity representations produced by one encoder pass.
+
+    Attributes
+    ----------
+    user:
+        ``(|U|, d_u)`` initiator-role user embeddings.
+    item:
+        ``(|I|, d_i)`` item embeddings.
+    participant:
+        ``(|U|, d_p)`` participant-role user embeddings; models without
+        role separation pass the same tensor as ``user``.
+    """
+
+    user: Tensor
+    item: Tensor
+    participant: Tensor
+
+
+class GroupBuyingRecommender(Module):
+    """Abstract base: two scoring functions over one embedding pass."""
+
+    #: Whether the trainer should attach the auxiliary losses (Sec. II-G).
+    #: Only the MGBR family overrides this.
+    supports_aux_losses: bool = False
+
+    def __init__(self, n_users: int, n_items: int) -> None:
+        super().__init__()
+        if n_users <= 0 or n_items <= 0:
+            raise ValueError(f"need positive entity counts, got {n_users}/{n_items}")
+        self.n_users = n_users
+        self.n_items = n_items
+        self._cached: Optional[EmbeddingBundle] = None
+
+    # ------------------------------------------------------------------
+    # To be provided by concrete models
+    # ------------------------------------------------------------------
+    def compute_embeddings(self) -> EmbeddingBundle:
+        """One differentiable encoder pass over all entities."""
+        raise NotImplementedError
+
+    def score_items_from(self, emb: EmbeddingBundle, users, items, raw: bool = False) -> Tensor:
+        """Task A scores ``s(i|u)`` for paired index arrays → ``(batch,)``.
+
+        Default: the user-item inner product, the standard CF scoring the
+        MF-style baselines use.  ``raw=True`` returns the logits (the
+        training losses consume these); otherwise σ-probabilities.
+        """
+        e_u = take_rows(emb.user, users)
+        e_i = take_rows(emb.item, items)
+        logits = (e_u * e_i).sum(axis=1)
+        return logits if raw else F.sigmoid(logits)
+
+    def score_participants_from(
+        self, emb: EmbeddingBundle, users, items, participants, raw: bool = False
+    ) -> Tensor:
+        """Task B scores ``s(p|u,i)`` → ``(batch,)``.
+
+        Default: the paper's baseline tailoring — inner product between
+        the participant's and initiator's embeddings (Sec. III-B; the
+        item is ignored by models with no Task-B head).
+        """
+        del items
+        e_u = take_rows(emb.user, users)
+        e_p = take_rows(emb.participant, participants)
+        logits = (e_u * e_p).sum(axis=1)
+        return logits if raw else F.sigmoid(logits)
+
+    # ------------------------------------------------------------------
+    # Cached public scoring (evaluation path)
+    # ------------------------------------------------------------------
+    def refresh_cache(self) -> None:
+        """Recompute and store the encoder pass for repeated scoring.
+
+        Call under ``no_grad`` (the evaluation protocol does); training
+        code never uses the cache.
+        """
+        self._cached = self.compute_embeddings()
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached encoder pass (after a parameter update)."""
+        self._cached = None
+
+    def _bundle(self) -> EmbeddingBundle:
+        if self._cached is None:
+            self._cached = self.compute_embeddings()
+        return self._cached
+
+    def score_items(self, users, items) -> Tensor:
+        """Public Task-A scoring against the cached encoder pass."""
+        return self.score_items_from(self._bundle(), users, items)
+
+    def score_participants(self, users, items, participants) -> Tensor:
+        """Public Task-B scoring against the cached encoder pass."""
+        return self.score_participants_from(self._bundle(), users, items, participants)
+
+    # ------------------------------------------------------------------
+    # Case-study hook (Fig. 6)
+    # ------------------------------------------------------------------
+    def entity_embeddings(self) -> Dict[str, np.ndarray]:
+        """Detached role-keyed embedding matrices for analysis/plotting."""
+        bundle = self._bundle()
+        return {
+            "initiator": np.array(bundle.user.data),
+            "item": np.array(bundle.item.data),
+            "participant": np.array(bundle.participant.data),
+        }

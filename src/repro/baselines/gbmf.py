@@ -1,0 +1,51 @@
+"""GBMF baseline — the MF variant of GBGCN (Zhang et al., ICDE 2021).
+
+"It directly uses dot-based similarity … to calculate scores of
+candidate items and candidate users as MF-based recommendation models"
+(paper Sec. III-B).  Users keep *two role embeddings* (initiator /
+participant) like GBGCN but without any graph propagation:
+
+* Task A: ``s(i|u) = σ(⟨u_init, i⟩)``
+* Task B: ``s(p|u,i) = σ(⟨p_part, u_init⟩)`` — the paper tailors *every*
+  baseline's Task-B head to the participant/initiator inner product
+  ("we can directly use the distance of p's embedding and u's
+  embedding as s(p|u,i)"); GBMF contributes its role-specific tables
+  but, like the rest, no item-aware participant scoring.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender
+from repro.nn.layers import Embedding
+from repro.utils.rng import SeedLike, spawn_rngs
+
+__all__ = ["GBMF"]
+
+
+class GBMF(GroupBuyingRecommender):
+    """Role-aware matrix factorization for group buying.
+
+    Task A scores ``⟨initiator-role u, item⟩``; Task B falls back to the
+    base-class tailoring ``⟨participant-role p, initiator-role u⟩``.
+
+    Parameters
+    ----------
+    n_users / n_items: entity counts.
+    dim: latent factor width.
+    seed: initialisation seed.
+    """
+
+    def __init__(self, n_users: int, n_items: int, dim: int = 32, seed: SeedLike = 0) -> None:
+        super().__init__(n_users, n_items)
+        rngs = spawn_rngs(seed, 3)
+        self.initiator_table = Embedding(n_users, dim, seed=rngs[0])
+        self.participant_table = Embedding(n_users, dim, seed=rngs[1])
+        self.item_table = Embedding(n_items, dim, seed=rngs[2])
+
+    def compute_embeddings(self) -> EmbeddingBundle:
+        """MF has no encoder — the tables are the representations."""
+        return EmbeddingBundle(
+            user=self.initiator_table.all(),
+            item=self.item_table.all(),
+            participant=self.participant_table.all(),
+        )

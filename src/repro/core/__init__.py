@@ -1,0 +1,48 @@
+"""``repro.core`` — the paper's contribution: the MGBR model.
+
+Multi-view GCN embeddings (Eq. 1-6), the expert/gate multi-task module
+(Eq. 7-15), prediction heads (Eq. 16/17), the four training objectives
+(Eq. 18-25), and the five ablation variants of Table IV.
+"""
+
+from repro.core.config import MGBRConfig
+from repro.core.experts import ExpertBank
+from repro.core.gates import AdjustedGate, GateAttention, GenericGate, SharedGate, TaskGate
+from repro.core.losses import (
+    LossBreakdown,
+    aux_loss_task_a,
+    aux_loss_task_b,
+    bpr_loss,
+    listwise_aux_loss,
+    total_loss,
+)
+from repro.core.model import MGBR
+from repro.core.mtl import MTLLayer, MultiTaskModule
+from repro.core.prediction import PredictionHead
+from repro.core.variants import VARIANTS, build_variant, variant_config
+from repro.core.views import HINEmbedding, MultiViewEmbedding
+
+__all__ = [
+    "MGBRConfig",
+    "MGBR",
+    "MultiViewEmbedding",
+    "HINEmbedding",
+    "ExpertBank",
+    "GateAttention",
+    "GenericGate",
+    "AdjustedGate",
+    "TaskGate",
+    "SharedGate",
+    "MTLLayer",
+    "MultiTaskModule",
+    "PredictionHead",
+    "bpr_loss",
+    "listwise_aux_loss",
+    "aux_loss_task_a",
+    "aux_loss_task_b",
+    "total_loss",
+    "LossBreakdown",
+    "VARIANTS",
+    "variant_config",
+    "build_variant",
+]

@@ -1,0 +1,63 @@
+"""Expert networks of the multi-task learning module (Eq. 7-9).
+
+Each of the three sub-modules (A = Task A, B = Task B, S = shared) owns
+``K`` expert networks per layer.  An expert is a single linear map:
+
+* ``e^l_{Ai} = (g^{l-1}_A || g^{l-1}_S) W^l_{Ai}``   (Eq. 7)
+* ``e^l_{Bi} = (g^{l-1}_B || g^{l-1}_S) W^l_{Bi}``   (Eq. 8)
+* ``e^l_{Si} = (g^{l-1}_A || g^{l-1}_S || g^{l-1}_B) W^l_{Si}``  (Eq. 9)
+
+The bank's forward takes the already-concatenated gate state and returns
+the stacked expert outputs ``E^l ∈ (batch, K, d)`` which the gates
+attend over.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, stack
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["ExpertBank"]
+
+
+class ExpertBank(Module):
+    """``K`` parallel linear experts sharing an input, stacked on output.
+
+    Parameters
+    ----------
+    in_dim: width of the concatenated gate state feeding the experts.
+    out_dim: expert output width ``d`` (all experts share it).
+    n_experts: ``K`` (Table II uses 6).
+    seed: initialisation RNG.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, n_experts: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if n_experts < 1:
+            raise ValueError(f"need at least one expert, got {n_experts}")
+        rng = as_rng(seed)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.n_experts = n_experts
+        self._experts: List[Linear] = []
+        for k in range(n_experts):
+            expert = Linear(in_dim, out_dim, bias=False, seed=rng)
+            setattr(self, f"expert{k}", expert)
+            self._experts.append(expert)
+
+    def forward(self, gate_state: Tensor) -> Tensor:
+        """Apply every expert to ``gate_state`` → ``(batch, K, d)``.
+
+        ``gate_state`` is the concatenation the relevant equation calls
+        for (A/B: two gates; S: three gates).
+        """
+        if gate_state.shape[-1] != self.in_dim:
+            raise ValueError(
+                f"expert bank expects input width {self.in_dim}, got {gate_state.shape[-1]}"
+            )
+        outputs = [expert(gate_state) for expert in self._experts]
+        return stack(outputs, axis=1)

@@ -1,0 +1,191 @@
+"""Gated units of the multi-task learning module (Eq. 10-14).
+
+Each sub-module's gate mixes expert outputs into one embedding.  Task
+gates (A and B) combine two sections:
+
+* **Generic section** (Eq. 10): attention weights come from the gate's
+  own previous state — ``g^l_{A1} = (g^{l-1}_A || g^{l-1}_S) W_A [E^l_A; E^l_S]``.
+  This is the MMoE-style self-gating the paper calls the generic gated
+  unit.
+* **Adjusted section** (Eq. 11): attention weights come from the *raw
+  pair embeddings* of the current sample.  For gate A:
+  ``g^l_{A2} = (e_u||e_i) W_{A,ui} E^l_A + (e_i||e_p) W_{A,ip} E^l_S
+  + (e_u||e_p) W_{A,up} E^l_S`` — task A's own pair ``(u,i)`` attends
+  over A's experts while the ``(i,p)``/``(u,p)`` information arrives via
+  the shared bank.  Gate B mirrors this with the banks swapped (Eq. 13).
+
+The two sections mix as ``g^l_A = g^l_{A1} + α_A · g^l_{A2}`` (Eq. 12).
+The shared gate S has only a generic section over all three banks
+(Eq. 14).  Following the self-attention principle the paper cites, the
+attention logits are softmax-normalized (disable with
+``gate_softmax=False`` to use raw linear weights).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["GateAttention", "GenericGate", "AdjustedGate", "TaskGate", "SharedGate"]
+
+
+class GateAttention(Module):
+    """One attention head: ``weights(query) × bank``.
+
+    Computes ``softmax(query W) @ bank`` where ``W ∈ (query_dim, K)``
+    and ``bank ∈ (batch, K, d)`` → ``(batch, d)``.
+    """
+
+    def __init__(self, query_dim: int, n_slots: int, softmax: bool = True, seed=None) -> None:
+        super().__init__()
+        self.proj = Linear(query_dim, n_slots, bias=False, seed=seed)
+        self.softmax = softmax
+        self.n_slots = n_slots
+
+    def forward(self, query: Tensor, bank: Tensor) -> Tensor:
+        """Attend ``query`` over ``bank`` slots."""
+        if bank.shape[1] != self.n_slots:
+            raise ValueError(
+                f"bank has {bank.shape[1]} slots, attention expects {self.n_slots}"
+            )
+        logits = self.proj(query)
+        weights = F.softmax(logits, axis=-1) if self.softmax else logits
+        batch = weights.shape[0]
+        mixed = weights.reshape(batch, 1, self.n_slots) @ bank
+        return mixed.reshape(batch, bank.shape[2])
+
+
+class GenericGate(Module):
+    """Eq. 10's generic section: self-state query over the expert banks."""
+
+    def __init__(self, state_dim: int, n_slots: int, softmax: bool = True, seed=None) -> None:
+        super().__init__()
+        self.attention = GateAttention(state_dim, n_slots, softmax=softmax, seed=seed)
+
+    def forward(self, state: Tensor, bank: Tensor) -> Tensor:
+        """``state`` is the concatenated previous gate outputs (e^l_in)."""
+        return self.attention(state, bank)
+
+
+class AdjustedGate(Module):
+    """Eq. 11/13's adjusted section: raw-pair queries over expert banks.
+
+    Parameters
+    ----------
+    pair_dim: width of each pair embedding (``e_u||e_i`` etc. = 4d).
+    n_experts: ``K`` — each of the three heads attends over one bank.
+    """
+
+    def __init__(self, pair_dim: int, n_experts: int, softmax: bool = True, seed=None) -> None:
+        super().__init__()
+        self.head_ui = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
+        self.head_ip = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
+        self.head_up = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
+
+    def forward(
+        self,
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+        bank_ui: Tensor,
+        bank_ip: Tensor,
+        bank_up: Tensor,
+    ) -> Tensor:
+        """Sum the three pair-attention terms.
+
+        Which bank each pair attends over differs between gate A and
+        gate B; the caller (:class:`TaskGate`) wires them per Eq. 11/13.
+        """
+        term_ui = self.head_ui(concat([e_u, e_i], axis=1), bank_ui)
+        term_ip = self.head_ip(concat([e_i, e_p], axis=1), bank_ip)
+        term_up = self.head_up(concat([e_u, e_p], axis=1), bank_up)
+        return term_ui + term_ip + term_up
+
+
+class TaskGate(Module):
+    """A full task gate: generic + α-scaled adjusted section (Eq. 12/13).
+
+    Parameters
+    ----------
+    state_dim: width of the gate's previous-state concatenation.
+    pair_dim: width of the raw pair embeddings (4d).
+    n_experts: ``K``.
+    own_is_ui: True for gate A (the (u,i) pair attends over the gate's
+        *own* bank, the other two pairs over the shared bank), False for
+        gate B (reversed wiring).
+    alpha: the control coefficient α_A / α_B; 0 disables the adjusted
+        section entirely (the MGBR-G ablation).
+    shared: whether a shared bank exists (False under MGBR-M — all
+        adjusted heads then attend over the gate's own bank).
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        pair_dim: int,
+        n_experts: int,
+        own_is_ui: bool,
+        alpha: float,
+        softmax: bool = True,
+        shared: bool = True,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        n_slots = 2 * n_experts if shared else n_experts
+        self.generic = GenericGate(state_dim, n_slots, softmax=softmax, seed=seed)
+        self.alpha = alpha
+        self.own_is_ui = own_is_ui
+        self.shared = shared
+        self.adjusted: Optional[AdjustedGate] = (
+            AdjustedGate(pair_dim, n_experts, softmax=softmax, seed=seed)
+            if alpha > 0
+            else None
+        )
+
+    def forward(
+        self,
+        state: Tensor,
+        own_bank: Tensor,
+        shared_bank: Optional[Tensor],
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+    ) -> Tensor:
+        """Produce ``g^l`` for this task.
+
+        ``state`` is ``g^{l-1}_task || g^{l-1}_S`` (or just the task state
+        when no shared bank exists).
+        """
+        if self.shared:
+            if shared_bank is None:
+                raise ValueError("TaskGate built with shared=True needs a shared bank")
+            generic_bank = concat([own_bank, shared_bank], axis=1)
+        else:
+            generic_bank = own_bank
+        out = self.generic(state, generic_bank)
+        if self.adjusted is not None:
+            other = shared_bank if self.shared else own_bank
+            if self.own_is_ui:
+                # Gate A: (u,i) -> own bank; (i,p), (u,p) -> shared bank.
+                adj = self.adjusted(e_u, e_i, e_p, own_bank, other, other)
+            else:
+                # Gate B: (u,i) -> shared bank; (i,p), (u,p) -> own bank.
+                adj = self.adjusted(e_u, e_i, e_p, other, own_bank, own_bank)
+            out = out + self.alpha * adj
+        return out
+
+
+class SharedGate(Module):
+    """Gate S (Eq. 14): generic attention over all three expert banks."""
+
+    def __init__(self, state_dim: int, n_experts: int, softmax: bool = True, seed=None) -> None:
+        super().__init__()
+        self.attention = GateAttention(state_dim, 3 * n_experts, softmax=softmax, seed=seed)
+
+    def forward(self, state: Tensor, bank_a: Tensor, bank_s: Tensor, bank_b: Tensor) -> Tensor:
+        """``state`` is ``g^{l-1}_A || g^{l-1}_S || g^{l-1}_B``."""
+        return self.attention(state, concat([bank_a, bank_s, bank_b], axis=1))

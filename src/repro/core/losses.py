@@ -1,0 +1,197 @@
+"""Training objectives (Sec. II-F / II-G; Eq. 18-25).
+
+All losses consume *raw logits* from the prediction heads: since the
+scores of Eq. 16/17 are ``σ(logit)`` and σ is monotone, optimising the
+logit-space forms below is the numerically-stable equivalent of the
+paper's equations (``log σ(x)`` is computed as a stable softplus).
+
+* :func:`bpr_loss` — one BPR term (Eq. 19's ``L_A`` and ``L_B``).
+* :func:`aux_loss_task_a` — Eq. 21, the ListNet-style refinement: for a
+  positive triple, participant-corrupted triples (label 1) should score
+  high where item-corrupted triples (label 0) should not.  Two modes:
+  ``literal`` is Eq. 21 verbatim (only label-1 terms contribute,
+  ``-y log s``); ``listnet`` softmax-normalizes the 2|T| candidate
+  scores and cross-entropies against the uniform distribution over the
+  label-1 slots (the classic ListNet top-one form).
+* :func:`aux_loss_task_b` — Eq. 24, BPR on item corruption for Task B.
+* :func:`total_loss` — Eq. 25: ``L_A + β L_B + β_A L'_A + β_B L'_B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concat
+
+__all__ = [
+    "bpr_loss",
+    "listwise_aux_loss",
+    "aux_loss_task_a",
+    "aux_loss_task_b",
+    "LossBreakdown",
+    "total_loss",
+]
+
+
+def bpr_loss(pos_logits: Tensor, neg_logits: Tensor) -> Tensor:
+    """Bayesian personalized ranking loss ``-mean log σ(pos - neg)``.
+
+    Parameters
+    ----------
+    pos_logits: ``(batch,)`` scores of the observed interactions.
+    neg_logits: ``(batch, n_neg)`` scores of sampled negatives; every
+        (positive, negative) pair contributes one term, matching the
+        double sum in Eq. 19.
+    """
+    if pos_logits.ndim != 1:
+        raise ValueError(f"pos_logits must be 1-D, got shape {pos_logits.shape}")
+    if neg_logits.ndim != 2 or neg_logits.shape[0] != pos_logits.shape[0]:
+        raise ValueError(
+            f"neg_logits must be (batch, n_neg) aligned with pos, got {neg_logits.shape}"
+        )
+    diff = pos_logits.reshape(-1, 1) - neg_logits
+    return -F.logsigmoid(diff).mean()
+
+
+def listwise_aux_loss(
+    participant_corrupted: Tensor,
+    item_corrupted: Tensor,
+    mode: str = "literal",
+) -> Tensor:
+    """Task A's auxiliary loss ``L'_A`` (Eq. 21).
+
+    Parameters
+    ----------
+    participant_corrupted:
+        ``(batch, |T|)`` logits of ``s(u, i, p')`` — triples from
+        ``T_P`` (label ``y = 1``): corrupting the participant should
+        *not* tank the Task-A score.
+    item_corrupted:
+        ``(batch, |T|)`` logits of ``s(u, i', p)`` — triples from
+        ``T_I`` (label ``y = 0``): corrupting the item should.
+    mode:
+        ``"literal"`` — Eq. 21 exactly: ``-(1/(|N⁺|·2|T|)) Σ y log s``;
+        only ``T_P`` terms carry gradient (``log s = log σ(logit)``).
+        ``"listnet"`` — softmax over the concatenated ``2|T|`` scores,
+        cross-entropy against uniform mass on the ``T_P`` half; this
+        additionally pushes ``T_I`` scores *down* relative to ``T_P``,
+        the ranking of Eq. 20.
+    """
+    if participant_corrupted.shape != item_corrupted.shape:
+        raise ValueError(
+            "corruption banks must have equal shapes, got "
+            f"{participant_corrupted.shape} vs {item_corrupted.shape}"
+        )
+    if mode == "literal":
+        # y=1 only on T_P; the 1/(2|T|) normaliser keeps Eq. 21's scale.
+        return -F.logsigmoid(participant_corrupted).sum(axis=1).mean() / (
+            2.0 * participant_corrupted.shape[1]
+        )
+    if mode == "listnet":
+        logits = concat([participant_corrupted, item_corrupted], axis=1)
+        log_probs = F.log_softmax(logits, axis=1)
+        t = participant_corrupted.shape[1]
+        target = np.zeros(logits.shape)
+        target[:, :t] = 1.0 / t
+        return -(Tensor(target) * log_probs).sum(axis=1).mean()
+    raise ValueError(f"unknown aux mode {mode!r}; expected literal|listnet")
+
+
+def aux_loss_task_a(
+    model,
+    emb,
+    users: np.ndarray,
+    items: np.ndarray,
+    participants: np.ndarray,
+    corrupted_items: np.ndarray,
+    corrupted_participants: np.ndarray,
+    mode: str = "literal",
+) -> Tensor:
+    """Assemble ``L'_A`` for a batch of positive triples.
+
+    ``corrupted_items`` / ``corrupted_participants`` are ``(batch, |T|)``
+    index arrays from :class:`repro.data.NegativeSampler`.  Scores are
+    computed with the *Task A head* fed an explicit participant (the
+    "except that e_p is just the embedding of p" clause under Eq. 20).
+    """
+    batch, t = corrupted_participants.shape
+    u_rep = np.repeat(users, t)
+    i_rep = np.repeat(items, t)
+    p_rep = np.repeat(participants, t)
+    s_tp = model.score_items_from(
+        emb, u_rep, i_rep, participants=corrupted_participants.ravel(), raw=True
+    ).reshape(batch, t)
+    s_ti = model.score_items_from(
+        emb, u_rep, corrupted_items.ravel(), participants=p_rep, raw=True
+    ).reshape(batch, t)
+    return listwise_aux_loss(s_tp, s_ti, mode=mode)
+
+
+def aux_loss_task_b(
+    model,
+    emb,
+    users: np.ndarray,
+    items: np.ndarray,
+    participants: np.ndarray,
+    corrupted_items: np.ndarray,
+) -> Tensor:
+    """Assemble ``L'_B`` (Eq. 24) for a batch of positive triples.
+
+    BPR between the true-triple Task-B score ``s(p|u,i)`` and the
+    item-corrupted scores ``s(p|u,i')``.
+    """
+    batch, t = corrupted_items.shape
+    pos = model.score_participants_from(emb, users, items, participants, raw=True)
+    u_rep = np.repeat(users, t)
+    p_rep = np.repeat(participants, t)
+    neg = model.score_participants_from(
+        emb, u_rep, corrupted_items.ravel(), p_rep, raw=True
+    ).reshape(batch, t)
+    return bpr_loss(pos, neg)
+
+
+@dataclass
+class LossBreakdown:
+    """The four objective components plus their weighted total."""
+
+    task_a: float
+    task_b: float
+    aux_a: float
+    aux_b: float
+    total: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for history logging."""
+        return {
+            "L_A": self.task_a,
+            "L_B": self.task_b,
+            "L'_A": self.aux_a,
+            "L'_B": self.aux_b,
+            "total": self.total,
+        }
+
+
+def total_loss(
+    loss_a: Tensor,
+    loss_b: Tensor,
+    aux_a: Optional[Tensor],
+    aux_b: Optional[Tensor],
+    beta: float,
+    beta_a: float,
+    beta_b: float,
+) -> Tensor:
+    """Eq. 25: ``L = L_A + β·L_B + β_A·L'_A + β_B·L'_B``.
+
+    ``aux_a`` / ``aux_b`` may be ``None`` (MGBR-R and the baselines),
+    reducing to Eq. 18.
+    """
+    loss = loss_a + beta * loss_b
+    if aux_a is not None and beta_a > 0:
+        loss = loss + beta_a * aux_a
+    if aux_b is not None and beta_b > 0:
+        loss = loss + beta_b * aux_b
+    return loss

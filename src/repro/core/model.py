@@ -1,0 +1,156 @@
+"""The MGBR model (paper Sec. II) assembled from its three modules.
+
+Pipeline per scored sample (Fig. 2):
+
+1. **Multi-view embedding learning** — three GCNs (or one HIN GCN under
+   MGBR-D) produce ``e_u, e_i, e_p ∈ R^{2d}`` for every entity.
+2. **Multi-task learning** — the expert/gate stack maps
+   ``e_u || e_i || e_p`` to task representations ``g^L_A, g^L_B``.
+3. **Prediction** — ``s(i|u) = σ(MLP_A(g^L_A))`` and
+   ``s(p|u,i) = σ(MLP_B(g^L_B))``.
+
+Task A's participant slot: the paper averages *all* users' participant
+embeddings (Sec. II-E); the auxiliary losses instead pass the concrete
+participant of the triple (Sec. II-G) via ``participants=...``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender
+from repro.core.config import MGBRConfig
+from repro.core.mtl import MultiTaskModule
+from repro.core.prediction import PredictionHead
+from repro.core.views import HINEmbedding, MultiViewEmbedding
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, take_rows, zeros
+from repro.utils.rng import SeedLike, spawn_rngs
+
+__all__ = ["MGBR"]
+
+
+class MGBR(GroupBuyingRecommender):
+    """Multi-task learning based Group Buying Recommendation model.
+
+    Parameters
+    ----------
+    groups: training deal groups (the graphs are built from these only —
+        validation/test interactions never leak into the views).
+    n_users / n_items: entity-space sizes.
+    config: hyper-parameters; ablation switches select the variants.
+    seed: initialisation seed (overrides ``config.seed`` when given).
+    """
+
+    def __init__(
+        self,
+        groups: Sequence,
+        n_users: int,
+        n_items: int,
+        config: Optional[MGBRConfig] = None,
+        seed: Optional[SeedLike] = None,
+    ) -> None:
+        super().__init__(n_users, n_items)
+        self.config = config or MGBRConfig()
+        root_seed = self.config.seed if seed is None else seed
+        rngs = spawn_rngs(root_seed, 4)
+
+        if self.config.use_hin_views:
+            self.encoder = HINEmbedding(
+                groups, n_users, n_items,
+                dim=self.config.d,
+                n_layers=self.config.gcn_layers,
+                feature_std=self.config.feature_std,
+                seed=rngs[0],
+                gain=self.config.gcn_gain,
+            )
+        else:
+            self.encoder = MultiViewEmbedding.from_groups(
+                groups, n_users, n_items,
+                dim=self.config.d,
+                n_layers=self.config.gcn_layers,
+                feature_std=self.config.feature_std,
+                seed=rngs[0],
+                include_participant_edges=self.config.include_participant_edges,
+                gain=self.config.gcn_gain,
+            )
+        self.mtl = MultiTaskModule(self.config, seed=rngs[1])
+        self.head_a = PredictionHead(self.config.d, self.config.mlp_hidden, seed=rngs[2])
+        self.head_b = PredictionHead(self.config.d, self.config.mlp_hidden, seed=rngs[3])
+
+    # ------------------------------------------------------------------
+    # Encoder
+    # ------------------------------------------------------------------
+    def compute_embeddings(self) -> EmbeddingBundle:
+        """Run the (multi-view or HIN) GCN encoder over all entities."""
+        return self.encoder()
+
+    # ------------------------------------------------------------------
+    # Gate forward shared by both heads
+    # ------------------------------------------------------------------
+    def _gates(
+        self,
+        emb: EmbeddingBundle,
+        users,
+        items,
+        participants=None,
+    ):
+        """Gather object embeddings and run the MTL stack.
+
+        ``participants=None`` triggers Task A's convention: ``e_p`` is
+        the average of all users' participant-role embeddings.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        e_u = take_rows(emb.user, users)
+        e_i = take_rows(emb.item, items)
+        if participants is None:
+            mean_p = emb.participant.mean(axis=0, keepdims=True)  # (1, 2d)
+            e_p = mean_p + zeros(len(users), 1)                   # broadcast to batch
+        else:
+            e_p = take_rows(emb.participant, np.asarray(participants, dtype=np.int64))
+        return self.mtl(e_u, e_i, e_p)
+
+    # ------------------------------------------------------------------
+    # Scoring (GroupBuyingRecommender interface + aux-loss extensions)
+    # ------------------------------------------------------------------
+    def score_items_from(
+        self,
+        emb: EmbeddingBundle,
+        users,
+        items,
+        participants=None,
+        raw: bool = False,
+    ) -> Tensor:
+        """Task A score ``s(i|u)`` (Eq. 16) → ``(batch,)``.
+
+        ``participants`` overrides the averaged ``e_p`` (used by the
+        auxiliary losses, Eq. 20's ``s(u,i,p)``); ``raw=True`` returns
+        logits instead of σ-probabilities.
+        """
+        g_a, _ = self._gates(emb, users, items, participants)
+        logits = self.head_a(g_a)
+        return logits if raw else F.sigmoid(logits)
+
+    def score_participants_from(
+        self,
+        emb: EmbeddingBundle,
+        users,
+        items,
+        participants,
+        raw: bool = False,
+    ) -> Tensor:
+        """Task B score ``s(p|u,i)`` (Eq. 17) → ``(batch,)``."""
+        _, g_b = self._gates(emb, users, items, participants)
+        logits = self.head_b(g_b)
+        return logits if raw else F.sigmoid(logits)
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    @property
+    def supports_aux_losses(self) -> bool:
+        """Whether the trainer should attach ``L'_A``/``L'_B`` (Sec. II-G)."""
+        return self.config.use_aux_losses

@@ -1,0 +1,183 @@
+"""The multi-task learning module: L layers of experts + gates (Sec. II-D).
+
+Layer topology (Fig. 3 of the paper): each layer holds three expert
+banks (A, B, S) and three gates.  Gate states thread through the stack:
+
+* layer-0 state: ``g⁰_A = g⁰_B = g⁰_S = e_u || e_i || e_p`` (Eq. 15);
+* layer ``l``: banks read the concatenated previous gate states
+  (Eq. 7-9) and gates mix the banks (Eq. 10-14);
+* the final layer's ``g^L_A`` / ``g^L_B`` feed the prediction MLPs.
+
+The MGBR-M ablation drops bank S and gate S, collapsing the module into
+two independent towers (each task gate then attends only over its own
+bank, and the adjusted-gate pair heads land on that bank as well).
+
+Shape note (DESIGN.md §5): the general formulas make the first layer's
+expert inputs the *duplicated* concatenation ``g⁰_A || g⁰_S`` (identical
+vectors).  ``first_layer_compact=True`` feeds ``g⁰`` once instead,
+matching the papers' annotated ``6d``/``9d`` first-layer sizes under its
+``e_u ∈ R^d`` reading.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import MGBRConfig
+from repro.core.experts import ExpertBank
+from repro.core.gates import SharedGate, TaskGate
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import SeedLike, spawn_rngs
+
+__all__ = ["MTLLayer", "MultiTaskModule"]
+
+
+class MTLLayer(Module):
+    """One layer of the multi-task module.
+
+    Parameters
+    ----------
+    task_state_dim: width of each task gate's previous output
+        (``6d_view`` at layer 1, expert width afterwards).
+    expert_dim: expert/gate output width (the paper's ``d``).
+    pair_dim: width of the raw pair embeddings ``e_u||e_i`` (4d).
+    n_experts: ``K``.
+    shared: include bank S + gate S (False under MGBR-M).
+    compact_input: feed the previous state once instead of the
+        duplicated concatenation (only meaningful when all previous
+        states are identical, i.e. at layer 1).
+    alpha_a / alpha_b: adjusted-gate control coefficients.
+    """
+
+    def __init__(
+        self,
+        task_state_dim: int,
+        expert_dim: int,
+        pair_dim: int,
+        n_experts: int,
+        shared: bool = True,
+        compact_input: bool = False,
+        alpha_a: float = 0.1,
+        alpha_b: float = 0.1,
+        gate_softmax: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rngs = spawn_rngs(seed, 6)
+        self.shared = shared
+        self.compact_input = compact_input
+        if compact_input:
+            in_task = task_state_dim
+            in_shared = task_state_dim
+        else:
+            in_task = 2 * task_state_dim if shared else task_state_dim
+            in_shared = 3 * task_state_dim
+        self.in_task = in_task
+        self.in_shared = in_shared
+
+        self.experts_a = ExpertBank(in_task, expert_dim, n_experts, seed=rngs[0])
+        self.experts_b = ExpertBank(in_task, expert_dim, n_experts, seed=rngs[1])
+        self.gate_a = TaskGate(
+            in_task, pair_dim, n_experts, own_is_ui=True, alpha=alpha_a,
+            softmax=gate_softmax, shared=shared, seed=rngs[2],
+        )
+        self.gate_b = TaskGate(
+            in_task, pair_dim, n_experts, own_is_ui=False, alpha=alpha_b,
+            softmax=gate_softmax, shared=shared, seed=rngs[3],
+        )
+        if shared:
+            self.experts_s = ExpertBank(in_shared, expert_dim, n_experts, seed=rngs[4])
+            self.gate_s = SharedGate(in_shared, n_experts, softmax=gate_softmax, seed=rngs[5])
+        else:
+            self.experts_s = None
+            self.gate_s = None
+
+    def forward(
+        self,
+        g_a: Tensor,
+        g_s: Optional[Tensor],
+        g_b: Tensor,
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+    ) -> Tuple[Tensor, Optional[Tensor], Tensor]:
+        """Advance the gate states one layer.
+
+        Returns ``(g_a, g_s, g_b)``; ``g_s`` is ``None`` without sharing.
+        """
+        if self.shared:
+            if self.compact_input:
+                state_a = g_a
+                state_b = g_b
+                state_s = g_s
+            else:
+                state_a = concat([g_a, g_s], axis=1)      # e^l_{A,in}, Eq. 10
+                state_b = concat([g_b, g_s], axis=1)
+                state_s = concat([g_a, g_s, g_b], axis=1)  # e^l_{S,in}, Eq. 14
+            bank_a = self.experts_a(state_a)
+            bank_b = self.experts_b(state_b)
+            bank_s = self.experts_s(state_s)
+            new_a = self.gate_a(state_a, bank_a, bank_s, e_u, e_i, e_p)
+            new_b = self.gate_b(state_b, bank_b, bank_s, e_u, e_i, e_p)
+            new_s = self.gate_s(state_s, bank_a, bank_s, bank_b)
+            return new_a, new_s, new_b
+
+        bank_a = self.experts_a(g_a)
+        bank_b = self.experts_b(g_b)
+        new_a = self.gate_a(g_a, bank_a, None, e_u, e_i, e_p)
+        new_b = self.gate_b(g_b, bank_b, None, e_u, e_i, e_p)
+        return new_a, None, new_b
+
+
+class MultiTaskModule(Module):
+    """The full L-layer expert/gate stack mapping ``(e_u,e_i,e_p)`` to
+    the task representations ``(g^L_A, g^L_B)``.
+
+    Constructed from an :class:`MGBRConfig`; respects its ablation
+    switches (``use_shared_experts``, ``use_adjusted_gates``).
+    """
+
+    def __init__(self, config: MGBRConfig, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.config = config
+        shared = config.use_shared_experts
+        alpha_a = config.alpha_a if config.use_adjusted_gates else 0.0
+        alpha_b = config.alpha_b if config.use_adjusted_gates else 0.0
+        pair_dim = 2 * config.view_dim  # e.g. e_u||e_i is 4d wide
+        rngs = spawn_rngs(seed, config.mtl_layers)
+        self._layers: List[MTLLayer] = []
+        for layer_idx in range(config.mtl_layers):
+            if layer_idx == 0:
+                state_dim = config.triple_dim  # 6d: e_u||e_i||e_p
+                compact = config.first_layer_compact
+            else:
+                state_dim = config.d
+                compact = False
+            layer = MTLLayer(
+                task_state_dim=state_dim,
+                expert_dim=config.d,
+                pair_dim=pair_dim,
+                n_experts=config.n_experts,
+                shared=shared,
+                compact_input=compact,
+                alpha_a=alpha_a,
+                alpha_b=alpha_b,
+                gate_softmax=config.gate_softmax,
+                seed=rngs[layer_idx],
+            )
+            setattr(self, f"mtl{layer_idx}", layer)
+            self._layers.append(layer)
+
+    def forward(self, e_u: Tensor, e_i: Tensor, e_p: Tensor) -> Tuple[Tensor, Tensor]:
+        """Run the stack; returns the final ``(g^L_A, g^L_B)``.
+
+        Inputs are per-sample object embeddings, each ``(batch, 2d)``.
+        """
+        g0 = concat([e_u, e_i, e_p], axis=1)  # Eq. 15
+        g_a, g_s, g_b = g0, g0, g0
+        if not self.config.use_shared_experts:
+            g_s = None
+        for layer in self._layers:
+            g_a, g_s, g_b = layer(g_a, g_s, g_b, e_u, e_i, e_p)
+        return g_a, g_b

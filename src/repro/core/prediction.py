@@ -1,0 +1,38 @@
+"""Prediction module (Eq. 16/17): one MLP head per sub-task.
+
+``s(i|u) = σ(MLP_A(g^L_A))`` and ``s(p|u,i) = σ(MLP_B(g^L_B))``.  The
+heads return *raw logits*; the model applies the sigmoid for evaluation
+scores and feeds logits directly into the numerically-stable loss
+functions (``log σ(x)`` = ``logsigmoid(logit)``) — the ranking is
+unchanged since σ is monotone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike
+
+__all__ = ["PredictionHead"]
+
+
+class PredictionHead(Module):
+    """An MLP mapping a gate output ``(batch, d)`` to a logit ``(batch,)``."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: Sequence[int],
+        activation: str = "relu",
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.mlp = MLP(in_dim, list(hidden), 1, activation=activation, seed=seed)
+
+    def forward(self, gate_output: Tensor) -> Tensor:
+        """Return per-sample logits (flattened to 1-D)."""
+        out = self.mlp(gate_output)
+        return out.reshape(out.shape[0])

@@ -1,0 +1,53 @@
+"""Factory for MGBR's ablation variants (paper Sec. III-B, Table IV).
+
+* **MGBR-M**   — shared expert bank S and gate S removed (two towers).
+* **MGBR-R**   — auxiliary losses ``L'_A``/``L'_B`` removed.
+* **MGBR-M-R** — both of the above.
+* **MGBR-G**   — adjusted gated units removed (``α_A = α_B = 0``).
+* **MGBR-D**   — the three divided views replaced by one GCN over the
+  heterogeneous all-relations graph.
+
+Each variant is an :class:`repro.core.model.MGBR` with the matching
+config switches, so the Table IV benchmark trains them through the same
+harness as the full model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.config import MGBRConfig
+from repro.core.model import MGBR
+from repro.utils.rng import SeedLike
+
+__all__ = ["VARIANTS", "variant_config", "build_variant"]
+
+#: Variant name -> config overrides.
+VARIANTS: Dict[str, Dict[str, bool]] = {
+    "MGBR": {},
+    "MGBR-M": {"use_shared_experts": False},
+    "MGBR-R": {"use_aux_losses": False},
+    "MGBR-M-R": {"use_shared_experts": False, "use_aux_losses": False},
+    "MGBR-G": {"use_adjusted_gates": False},
+    "MGBR-D": {"use_hin_views": True},
+}
+
+
+def variant_config(name: str, base: Optional[MGBRConfig] = None) -> MGBRConfig:
+    """Return ``base`` (default :class:`MGBRConfig`) with the variant's switches."""
+    if name not in VARIANTS:
+        raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}")
+    base = base or MGBRConfig()
+    return base.replace(**VARIANTS[name])
+
+
+def build_variant(
+    name: str,
+    groups: Sequence,
+    n_users: int,
+    n_items: int,
+    base: Optional[MGBRConfig] = None,
+    seed: Optional[SeedLike] = None,
+) -> MGBR:
+    """Instantiate the named ablation variant over ``groups``."""
+    return MGBR(groups, n_users, n_items, config=variant_config(name, base), seed=seed)

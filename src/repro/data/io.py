@@ -1,0 +1,137 @@
+"""Dataset persistence.
+
+Datasets round-trip through a compressed ``.npz`` with ragged groups
+encoded as flat arrays plus offsets — robust, dependency-free, and fast
+to reload in benchmarks that share a dataset across many model runs.
+A JSON export is provided for human inspection / interchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.data.schema import DealGroup, GroupBuyingDataset
+
+__all__ = ["save_dataset", "load_dataset", "export_json", "import_json"]
+
+PathLike = Union[str, Path]
+
+_SPLITS = ("train", "validation", "test")
+
+
+def _encode_groups(groups: Sequence[DealGroup]):
+    initiators = np.fromiter((g.initiator for g in groups), dtype=np.int64, count=len(groups))
+    items = np.fromiter((g.item for g in groups), dtype=np.int64, count=len(groups))
+    sizes = np.fromiter((g.size for g in groups), dtype=np.int64, count=len(groups))
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    flat = np.fromiter(
+        (p for g in groups for p in g.participants), dtype=np.int64, count=int(offsets[-1])
+    )
+    return initiators, items, offsets, flat
+
+
+def _decode_groups(initiators, items, offsets, flat) -> List[DealGroup]:
+    out: List[DealGroup] = []
+    for k in range(len(initiators)):
+        lo, hi = int(offsets[k]), int(offsets[k + 1])
+        out.append(
+            DealGroup(
+                initiator=int(initiators[k]),
+                item=int(items[k]),
+                participants=tuple(int(p) for p in flat[lo:hi]),
+            )
+        )
+    return out
+
+
+def save_dataset(dataset: GroupBuyingDataset, path: PathLike) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {
+        "n_users": np.int64(dataset.n_users),
+        "n_items": np.int64(dataset.n_items),
+        "name": np.bytes_(dataset.name.encode()),
+    }
+    for split in _SPLITS:
+        initiators, items, offsets, flat = _encode_groups(getattr(dataset, split))
+        payload[f"{split}_initiators"] = initiators
+        payload[f"{split}_items"] = items
+        payload[f"{split}_offsets"] = offsets
+        payload[f"{split}_participants"] = flat
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset(path: PathLike) -> GroupBuyingDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        splits = {}
+        for split in _SPLITS:
+            splits[split] = _decode_groups(
+                archive[f"{split}_initiators"],
+                archive[f"{split}_items"],
+                archive[f"{split}_offsets"],
+                archive[f"{split}_participants"],
+            )
+        return GroupBuyingDataset(
+            n_users=int(archive["n_users"]),
+            n_items=int(archive["n_items"]),
+            train=splits["train"],
+            validation=splits["validation"],
+            test=splits["test"],
+            name=bytes(archive["name"]).decode(),
+        )
+
+
+def export_json(dataset: GroupBuyingDataset, path: PathLike) -> Path:
+    """Write a human-readable JSON version of ``dataset``."""
+    path = Path(path)
+    doc = {
+        "name": dataset.name,
+        "n_users": dataset.n_users,
+        "n_items": dataset.n_items,
+        "splits": {
+            split: [
+                {"initiator": g.initiator, "item": g.item, "participants": list(g.participants)}
+                for g in getattr(dataset, split)
+            ]
+            for split in _SPLITS
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def import_json(path: PathLike) -> GroupBuyingDataset:
+    """Load a dataset from the JSON produced by :func:`export_json`."""
+    doc = json.loads(Path(path).read_text())
+    splits = {
+        split: [
+            DealGroup(
+                initiator=int(g["initiator"]),
+                item=int(g["item"]),
+                participants=tuple(int(p) for p in g["participants"]),
+            )
+            for g in doc["splits"][split]
+        ]
+        for split in _SPLITS
+    }
+    return GroupBuyingDataset(
+        n_users=int(doc["n_users"]),
+        n_items=int(doc["n_items"]),
+        train=splits["train"],
+        validation=splits["validation"],
+        test=splits["test"],
+        name=doc.get("name", "imported"),
+    )

@@ -1,0 +1,120 @@
+"""Negative sampling for training, evaluation and the auxiliary losses.
+
+Three distinct samplers, matching Sec. III-A2 and Sec. II-G:
+
+* **Task A negatives** — for initiator ``u``, draw items ``u`` has *never
+  bought* (any role, training split).  Training uses ratio 1:9; the test
+  candidate lists use 9 (``@10``) or 99 (``@100``) negatives.
+* **Task B negatives** — for a group ``<u, i, G>``, draw users from
+  ``U \\ G`` (also excluding ``u`` itself).
+* **Auxiliary corruption sets** — for a positive triple ``t=(u,i,p)``,
+  ``T_I_t`` corrupts the item (``i' ∈ I\\{i}``) and ``T_P_t`` corrupts the
+  participant (``p' ∈ U \\ G_{u,i}``), both of fixed size ``|T|``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.schema import GroupBuyingDataset
+from repro.utils.rng import SeedLike, as_rng, choice_excluding
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler:
+    """Draws all three kinds of negatives against a dataset's training split.
+
+    Parameters
+    ----------
+    dataset: the source of exclusion sets.
+    seed: RNG seed; evaluation protocols pass a fixed seed so candidate
+        lists are identical across models.
+    splits: which splits feed the exclusion sets.  Training uses just
+        ``("train",)``; the evaluation protocol passes all three splits
+        because the paper's negatives are "products u has *not* bought"
+        over the whole dataset.
+    """
+
+    def __init__(
+        self,
+        dataset: GroupBuyingDataset,
+        seed: SeedLike = None,
+        splits: Sequence[str] = ("train",),
+    ) -> None:
+        self.dataset = dataset
+        self.rng = as_rng(seed)
+        self.n_users = dataset.n_users
+        self.n_items = dataset.n_items
+        self._user_items: Dict[int, Set[int]] = dataset.user_items(splits)
+        self._group_members: Dict[Tuple[int, int], Set[int]] = dataset.group_members(splits)
+
+    # ------------------------------------------------------------------
+    # Task A
+    # ------------------------------------------------------------------
+    def sample_items(self, user: int, n: int, extra_exclude: Sequence[int] = ()) -> np.ndarray:
+        """Items ``user`` never bought (plus ``extra_exclude``), size ``n``."""
+        exclude = set(self._user_items.get(int(user), set()))
+        exclude.update(int(x) for x in extra_exclude)
+        return choice_excluding(self.rng, self.n_items, exclude, n)
+
+    def sample_items_batch(self, users: np.ndarray, n: int) -> np.ndarray:
+        """Vector form of :meth:`sample_items` → shape ``(len(users), n)``."""
+        out = np.empty((len(users), n), dtype=np.int64)
+        for row, user in enumerate(users):
+            out[row] = self.sample_items(int(user), n)
+        return out
+
+    # ------------------------------------------------------------------
+    # Task B
+    # ------------------------------------------------------------------
+    def sample_participants(
+        self,
+        user: int,
+        item: int,
+        n: int,
+        extra_exclude: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Users outside ``G_{u,i}`` (and not ``u``), size ``n``."""
+        exclude = set(self._group_members.get((int(user), int(item)), set()))
+        exclude.add(int(user))
+        exclude.update(int(x) for x in extra_exclude)
+        return choice_excluding(self.rng, self.n_users, exclude, n)
+
+    def sample_participants_batch(
+        self, users: np.ndarray, items: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Vector form of :meth:`sample_participants` → ``(len(users), n)``."""
+        if len(users) != len(items):
+            raise ValueError("users and items must be the same length")
+        out = np.empty((len(users), n), dtype=np.int64)
+        for row, (u, i) in enumerate(zip(users, items)):
+            out[row] = self.sample_participants(int(u), int(i), n)
+        return out
+
+    # ------------------------------------------------------------------
+    # Auxiliary corruption sets (Sec. II-G)
+    # ------------------------------------------------------------------
+    def corrupt_items(self, users: np.ndarray, items: np.ndarray, size: int) -> np.ndarray:
+        """``T_I``: replace the item with any other item, ``(batch, size)``.
+
+        The definition is ``i' ∈ I \\ i`` — only the true item is
+        excluded, not the user's other purchases.
+        """
+        out = np.empty((len(users), size), dtype=np.int64)
+        for row, item in enumerate(items):
+            out[row] = choice_excluding(self.rng, self.n_items, {int(item)}, size)
+        return out
+
+    def corrupt_participants(
+        self, users: np.ndarray, items: np.ndarray, size: int
+    ) -> np.ndarray:
+        """``T_P``: replace the participant with ``p' ∈ U \\ G_{u,i}``."""
+        out = np.empty((len(users), size), dtype=np.int64)
+        for row, (u, i) in enumerate(zip(users, items)):
+            exclude = set(self._group_members.get((int(u), int(i)), set()))
+            exclude.add(int(u))
+            out[row] = choice_excluding(self.rng, self.n_users, exclude, size)
+        return out

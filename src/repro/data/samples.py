@@ -1,0 +1,89 @@
+"""Positive-sample extraction for the two sub-tasks.
+
+From every observed deal group ``<u, i, G>`` (Sec. II-A):
+
+* ``(u, i)`` is one positive sample of **Task A**;
+* ``(u, i, p)`` for each ``p ∈ G`` is a positive sample of **Task B**.
+
+Samples are materialised as integer arrays so the trainer and the
+negative samplers can operate vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import DealGroup
+
+__all__ = ["TaskASamples", "TaskBSamples", "extract_task_a", "extract_task_b"]
+
+
+@dataclass(frozen=True)
+class TaskASamples:
+    """Positive (initiator, item) pairs for Task A.
+
+    ``group_index[k]`` records which deal group pair ``k`` came from, so
+    auxiliary-loss sampling can recover ``G_{u,i}``.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    group_index: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.users) == len(self.items) == len(self.group_index)):
+            raise ValueError("task A sample arrays must share a length")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+@dataclass(frozen=True)
+class TaskBSamples:
+    """Positive (initiator, item, participant) triples for Task B."""
+
+    users: np.ndarray
+    items: np.ndarray
+    participants: np.ndarray
+    group_index: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.users),
+            len(self.items),
+            len(self.participants),
+            len(self.group_index),
+        }
+        if len(lengths) != 1:
+            raise ValueError("task B sample arrays must share a length")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def extract_task_a(groups: Sequence[DealGroup]) -> TaskASamples:
+    """Collect one (u, i) positive per deal group."""
+    users = np.fromiter((g.initiator for g in groups), dtype=np.int64, count=len(groups))
+    items = np.fromiter((g.item for g in groups), dtype=np.int64, count=len(groups))
+    index = np.arange(len(groups), dtype=np.int64)
+    return TaskASamples(users=users, items=items, group_index=index)
+
+
+def extract_task_b(groups: Sequence[DealGroup]) -> TaskBSamples:
+    """Collect one (u, i, p) positive per participant of every group."""
+    users, items, parts, index = [], [], [], []
+    for g_idx, g in enumerate(groups):
+        for p in g.participants:
+            users.append(g.initiator)
+            items.append(g.item)
+            parts.append(p)
+            index.append(g_idx)
+    return TaskBSamples(
+        users=np.asarray(users, dtype=np.int64),
+        items=np.asarray(items, dtype=np.int64),
+        participants=np.asarray(parts, dtype=np.int64),
+        group_index=np.asarray(index, dtype=np.int64),
+    )

@@ -1,0 +1,155 @@
+"""Core data structures for group-buying records.
+
+The paper's unit of observation is a *deal group* ``<u, i, G>``: an
+initiator ``u``, the item ``i`` they launched, and the participant set
+``G = {p₁ … p_|G|}`` (Sec. II-A).  A dataset is a set of deal groups over
+contiguous user/item id spaces plus the train/validation/test partition
+of those groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+__all__ = ["DealGroup", "GroupBuyingDataset"]
+
+
+@dataclass(frozen=True)
+class DealGroup:
+    """One observed deal group ``<u, i, G>``.
+
+    Attributes
+    ----------
+    initiator: user id of the group launcher.
+    item: item id the group buys.
+    participants: user ids that joined (excludes the initiator).
+    """
+
+    initiator: int
+    item: int
+    participants: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.initiator < 0 or self.item < 0:
+            raise ValueError(f"negative ids in group ({self.initiator}, {self.item})")
+        if any(p < 0 for p in self.participants):
+            raise ValueError("negative participant id")
+        if self.initiator in self.participants:
+            raise ValueError(
+                f"initiator {self.initiator} cannot also be a participant"
+            )
+        if len(set(self.participants)) != len(self.participants):
+            raise ValueError("duplicate participants in one group")
+
+    @property
+    def size(self) -> int:
+        """Number of participants |G| (the initiator is not counted)."""
+        return len(self.participants)
+
+    def members(self) -> Tuple[int, ...]:
+        """All users touching the group: initiator first, then participants."""
+        return (self.initiator, *self.participants)
+
+
+@dataclass
+class GroupBuyingDataset:
+    """A complete group-buying dataset with its train/val/test partition.
+
+    Attributes
+    ----------
+    n_users / n_items: sizes of the contiguous id spaces.
+    train / validation / test: disjoint lists of :class:`DealGroup`.
+    name: human-readable provenance tag.
+    """
+
+    n_users: int
+    n_items: int
+    train: List[DealGroup]
+    validation: List[DealGroup] = field(default_factory=list)
+    test: List[DealGroup] = field(default_factory=list)
+    name: str = "synthetic-beibei"
+
+    def __post_init__(self) -> None:
+        for split_name, groups in (
+            ("train", self.train),
+            ("validation", self.validation),
+            ("test", self.test),
+        ):
+            for g in groups:
+                if g.initiator >= self.n_users or any(
+                    p >= self.n_users for p in g.participants
+                ):
+                    raise ValueError(f"{split_name} group references unknown user: {g}")
+                if g.item >= self.n_items:
+                    raise ValueError(f"{split_name} group references unknown item: {g}")
+
+    # ------------------------------------------------------------------
+    # Views over the partition
+    # ------------------------------------------------------------------
+    @property
+    def all_groups(self) -> List[DealGroup]:
+        """Every deal group across all splits."""
+        return [*self.train, *self.validation, *self.test]
+
+    @property
+    def n_groups(self) -> int:
+        """Total deal-group count (Table I's "deal group" row)."""
+        return len(self.train) + len(self.validation) + len(self.test)
+
+    # ------------------------------------------------------------------
+    # Interaction indexes (built lazily, cached)
+    # ------------------------------------------------------------------
+    def user_items(self, splits: Sequence[str] = ("train",)) -> Dict[int, Set[int]]:
+        """Items each user interacted with (launch or join) in ``splits``.
+
+        Task A's negative sampler excludes these: a negative item for
+        ``u`` must be one ``u`` never bought (Sec. III-A2).
+        """
+        out: Dict[int, Set[int]] = {}
+        for group in self._iter_splits(splits):
+            out.setdefault(group.initiator, set()).add(group.item)
+            for p in group.participants:
+                out.setdefault(p, set()).add(group.item)
+        return out
+
+    def group_members(self, splits: Sequence[str] = ("train",)) -> Dict[Tuple[int, int], Set[int]]:
+        """Map ``(u, i) -> G_{u,i}``: all participants ever seen with that pair.
+
+        This is the paper's ``G_{u,i}`` used when sampling corrupted
+        participants for the auxiliary losses (Sec. II-G1).
+        """
+        out: Dict[Tuple[int, int], Set[int]] = {}
+        for group in self._iter_splits(splits):
+            key = (group.initiator, group.item)
+            out.setdefault(key, set()).update(group.participants)
+        return out
+
+    def user_interaction_counts(self, splits: Sequence[str] = ("train", "validation", "test")) -> Dict[int, int]:
+        """Purchase-record count per user (launches + joins), for filtering."""
+        counts: Dict[int, int] = {}
+        for group in self._iter_splits(splits):
+            counts[group.initiator] = counts.get(group.initiator, 0) + 1
+            for p in group.participants:
+                counts[p] = counts.get(p, 0) + 1
+        return counts
+
+    def _iter_splits(self, splits: Sequence[str]):
+        mapping = {"train": self.train, "validation": self.validation, "test": self.test}
+        for split in splits:
+            if split not in mapping:
+                raise KeyError(f"unknown split {split!r}; expected train/validation/test")
+            yield from mapping[split]
+
+    def summary(self) -> Dict[str, int]:
+        """Dataset statistics in the shape of the paper's Table I."""
+        sizes = [g.size for g in self.all_groups]
+        return {
+            "user": self.n_users,
+            "item": self.n_items,
+            "deal group": self.n_groups,
+            "train groups": len(self.train),
+            "validation groups": len(self.validation),
+            "test groups": len(self.test),
+            "max group size": max(sizes) if sizes else 0,
+        }

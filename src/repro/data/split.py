@@ -1,0 +1,47 @@
+"""Train/validation/test partitioning of deal groups.
+
+The paper splits at the *group* level with ratio 7:3:1 (Sec. III-A2).
+Splitting whole groups (rather than individual samples) keeps each
+group's Task-A pair and Task-B triples in the same split, preventing
+leakage of a test group's participants into training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import DealGroup
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["split_groups"]
+
+
+def split_groups(
+    groups: Sequence[DealGroup],
+    ratios: Tuple[float, float, float] = (7, 3, 1),
+    seed: SeedLike = None,
+) -> Tuple[List[DealGroup], List[DealGroup], List[DealGroup]]:
+    """Shuffle and partition ``groups`` by ``ratios`` (normalized to 1).
+
+    Returns ``(train, validation, test)``.  Every group lands in exactly
+    one split; rounding remainders go to the training split.
+    """
+    if len(ratios) != 3:
+        raise ValueError(f"need exactly three ratios, got {ratios}")
+    total = float(sum(ratios))
+    if total <= 0 or any(r < 0 for r in ratios):
+        raise ValueError(f"ratios must be non-negative and sum > 0, got {ratios}")
+    rng = as_rng(seed)
+    order = np.arange(len(groups))
+    rng.shuffle(order)
+    n = len(groups)
+    n_val = int(np.floor(n * ratios[1] / total))
+    n_test = int(np.floor(n * ratios[2] / total))
+    n_train = n - n_val - n_test
+    shuffled = [groups[k] for k in order]
+    train = shuffled[:n_train]
+    validation = shuffled[n_train : n_train + n_val]
+    test = shuffled[n_train + n_val :]
+    return train, validation, test

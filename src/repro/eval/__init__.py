@@ -1,0 +1,34 @@
+"""``repro.eval`` — ranking metrics, candidate-list protocols, case study.
+
+Implements the paper's evaluation exactly: MRR@N/NDCG@N over 1:9
+(``@10``) and 1:99 (``@100``) candidate lists for both sub-tasks
+(Sec. III-D), plus the PCA embedding case study behind Fig. 6.
+"""
+
+from repro.eval.casestudy import GroupEmbeddingStudy, pca_project, run_case_study
+from repro.eval.metrics import (
+    RankingAccumulator,
+    hit,
+    ndcg,
+    rank_of_positive,
+    reciprocal_rank,
+)
+from repro.eval.protocol import EvalProtocol, EvalResult, evaluate_model
+from repro.eval.significance import BootstrapResult, collect_ranks, paired_bootstrap
+
+__all__ = [
+    "rank_of_positive",
+    "reciprocal_rank",
+    "ndcg",
+    "hit",
+    "RankingAccumulator",
+    "EvalProtocol",
+    "EvalResult",
+    "evaluate_model",
+    "pca_project",
+    "run_case_study",
+    "GroupEmbeddingStudy",
+    "paired_bootstrap",
+    "collect_ranks",
+    "BootstrapResult",
+]

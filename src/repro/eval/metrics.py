@@ -1,0 +1,118 @@
+"""Ranking metrics: MRR@N and NDCG@N (plus HR@N).
+
+The paper evaluates with MRR@N (mean reciprocal rank) and NDCG@N
+(normalized discounted cumulative gain), Sec. III-D.  Every test instance
+has exactly one positive inside a candidate list (1 positive : 9 or 99
+negatives), so per-instance:
+
+* ``MRR@N  = 1/rank``            if ``rank <= N`` else 0
+* ``NDCG@N = 1/log2(rank + 1)``  if ``rank <= N`` else 0  (IDCG = 1)
+* ``HR@N   = 1``                 if ``rank <= N`` else 0
+
+where ``rank`` is the 1-based position of the positive when candidates
+are sorted by descending score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "rank_of_positive",
+    "reciprocal_rank",
+    "ndcg",
+    "hit",
+    "RankingAccumulator",
+]
+
+
+def rank_of_positive(scores: Sequence[float], positive_index: int = 0) -> int:
+    """1-based rank of ``scores[positive_index]`` under descending sort.
+
+    Ties are broken *against* the positive (ties with negatives count as
+    ranked above it), the pessimistic convention — a model cannot earn
+    metric mass by outputting constant scores.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if not 0 <= positive_index < scores.size:
+        raise IndexError(
+            f"positive_index {positive_index} outside candidate list of size {scores.size}"
+        )
+    target = scores[positive_index]
+    others = np.delete(scores, positive_index)
+    return int(1 + (others >= target).sum())
+
+
+def reciprocal_rank(rank: int, cutoff: int) -> float:
+    """``1/rank`` truncated at ``cutoff`` (the @N in MRR@N)."""
+    _check_rank(rank, cutoff)
+    return 1.0 / rank if rank <= cutoff else 0.0
+
+
+def ndcg(rank: int, cutoff: int) -> float:
+    """Single-positive NDCG@cutoff: ``1/log2(rank+1)`` inside the cutoff.
+
+    With one relevant item the ideal DCG is 1, so DCG is already
+    normalized.
+    """
+    _check_rank(rank, cutoff)
+    return 1.0 / np.log2(rank + 1.0) if rank <= cutoff else 0.0
+
+
+def hit(rank: int, cutoff: int) -> float:
+    """Hit-rate indicator: 1 if the positive made the top-``cutoff``."""
+    _check_rank(rank, cutoff)
+    return 1.0 if rank <= cutoff else 0.0
+
+
+def _check_rank(rank: int, cutoff: int) -> None:
+    if rank < 1:
+        raise ValueError(f"rank is 1-based, got {rank}")
+    if cutoff < 1:
+        raise ValueError(f"cutoff must be >= 1, got {cutoff}")
+
+
+@dataclass
+class RankingAccumulator:
+    """Accumulates per-instance ranks and reports mean metrics.
+
+    One accumulator per (task, protocol) pair; the evaluation protocol
+    feeds it the rank of each test instance's positive and finally calls
+    :meth:`result`.
+    """
+
+    cutoff: int
+    _ranks: list = None
+
+    def __post_init__(self) -> None:
+        if self.cutoff < 1:
+            raise ValueError(f"cutoff must be >= 1, got {self.cutoff}")
+        self._ranks = []
+
+    def add(self, rank: int) -> None:
+        """Record one test instance's positive rank."""
+        if rank < 1:
+            raise ValueError(f"rank is 1-based, got {rank}")
+        self._ranks.append(int(rank))
+
+    def extend(self, ranks: Iterable[int]) -> None:
+        """Record many ranks at once."""
+        for r in ranks:
+            self.add(r)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def result(self) -> Dict[str, float]:
+        """Mean MRR@cutoff / NDCG@cutoff / HR@cutoff over recorded instances."""
+        if not self._ranks:
+            raise ValueError("no ranks recorded")
+        n = self.cutoff
+        return {
+            f"MRR@{n}": float(np.mean([reciprocal_rank(r, n) for r in self._ranks])),
+            f"NDCG@{n}": float(np.mean([ndcg(r, n) for r in self._ranks])),
+            f"HR@{n}": float(np.mean([hit(r, n) for r in self._ranks])),
+        }

@@ -1,0 +1,195 @@
+"""Candidate-list evaluation protocols (paper Sec. III-A2 / III-D).
+
+For each test instance the model scores a candidate list containing the
+one positive and ``n_negatives`` sampled negatives:
+
+* **Task A** — instance is an initiator ``u``; candidates are items.
+  Negatives are items ``u`` never bought.
+* **Task B** — instance is a pair ``(u, i)``; candidates are users.
+  Negatives are users outside the observed participant set ``G_{u,i}``.
+
+The paper computes MRR/NDCG@10 with 1:9 lists and MRR/NDCG@100 with
+1:99 lists.  Candidate lists are drawn with a *fixed seed held constant
+across models*, so Table III comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.negative import NegativeSampler
+from repro.data.samples import extract_task_a, extract_task_b
+from repro.data.schema import GroupBuyingDataset
+from repro.eval.metrics import RankingAccumulator, rank_of_positive
+from repro.nn.tensor import no_grad
+from repro.utils.rng import SeedLike
+
+__all__ = ["EvalProtocol", "EvalResult", "evaluate_model"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Metric dictionaries per task and cutoff, e.g. ``task_a["MRR@10"]``."""
+
+    task_a: Dict[str, float]
+    task_b: Dict[str, float]
+
+    def flat(self) -> Dict[str, float]:
+        """Single dict keyed ``A/MRR@10`` style (handy for history logs)."""
+        out = {}
+        out.update({f"A/{k}": v for k, v in self.task_a.items()})
+        out.update({f"B/{k}": v for k, v in self.task_b.items()})
+        return out
+
+
+@dataclass
+class EvalProtocol:
+    """A reusable evaluation configuration bound to a dataset.
+
+    Parameters
+    ----------
+    dataset: evaluation source; candidates drawn against its train split.
+    n_negatives: negatives per instance (9 → @10 lists, 99 → @100 lists).
+    cutoff: metric truncation depth (10 or 100).
+    seed: candidate-list RNG seed — keep identical across compared models.
+    split: which split supplies the positive instances.
+    max_instances: optional cap (benchmarks subsample for speed).
+    """
+
+    dataset: GroupBuyingDataset
+    n_negatives: int = 9
+    cutoff: int = 10
+    seed: SeedLike = 123
+    split: str = "test"
+    max_instances: Optional[int] = None
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def _groups(self):
+        groups = getattr(self.dataset, self.split)
+        if not groups:
+            raise ValueError(f"split {self.split!r} is empty")
+        return groups
+
+    def _candidate_lists(self):
+        """Materialise (and cache) the candidate lists for both tasks.
+
+        Returns ``(task_a, task_b)`` where each entry is a dict of parallel
+        arrays; candidate column 0 is always the positive.
+        """
+        key = (self.split, self.n_negatives, repr(self.seed), self.max_instances)
+        if key in self._cache:
+            return self._cache[key]
+        groups = self._groups()
+        sampler = NegativeSampler(
+            self.dataset, seed=self.seed, splits=("train", "validation", "test")
+        )
+        task_a = extract_task_a(groups)
+        task_b = extract_task_b(groups)
+
+        a_idx = np.arange(len(task_a))
+        b_idx = np.arange(len(task_b))
+        if self.max_instances is not None:
+            a_idx = a_idx[: self.max_instances]
+            b_idx = b_idx[: self.max_instances]
+
+        a_users = task_a.users[a_idx]
+        a_pos = task_a.items[a_idx]
+        # The positive may come from a non-train split, so the sampler's
+        # train-interaction exclusion alone cannot guarantee it is absent
+        # from the negatives — exclude it explicitly per instance.
+        a_negs = np.empty((len(a_idx), self.n_negatives), dtype=np.int64)
+        for row in range(len(a_idx)):
+            a_negs[row] = sampler.sample_items(
+                int(a_users[row]), self.n_negatives, extra_exclude=(int(a_pos[row]),)
+            )
+        a_cands = np.concatenate([a_pos[:, None], a_negs], axis=1)
+
+        b_users = task_b.users[b_idx]
+        b_items = task_b.items[b_idx]
+        b_pos = task_b.participants[b_idx]
+        # Negatives come from U \ G (Sec. III-A2): exclude the *entire*
+        # observed participant set of this instance's group — the
+        # sampler's train-split G_{u,i} does not know test-split groups.
+        b_negs = np.empty((len(b_idx), self.n_negatives), dtype=np.int64)
+        for row in range(len(b_idx)):
+            group = groups[int(task_b.group_index[b_idx[row]])]
+            b_negs[row] = sampler.sample_participants(
+                int(b_users[row]), int(b_items[row]), self.n_negatives,
+                extra_exclude=group.participants,
+            )
+        b_cands = np.concatenate([b_pos[:, None], b_negs], axis=1)
+
+        lists = (
+            {"users": a_users, "candidates": a_cands},
+            {"users": b_users, "items": b_items, "candidates": b_cands},
+        )
+        self._cache[key] = lists
+        return lists
+
+    def run(self, model) -> EvalResult:
+        """Score both tasks' candidate lists with ``model``.
+
+        The model must implement the :class:`repro.baselines.base
+        .GroupBuyingRecommender` scoring interface.  Runs in eval mode
+        under ``no_grad``.
+        """
+        was_training = getattr(model, "training", False)
+        model.eval()
+        try:
+            with no_grad():
+                if hasattr(model, "refresh_cache"):
+                    model.refresh_cache()
+                task_a, task_b = self._candidate_lists()
+                acc_a = RankingAccumulator(self.cutoff)
+                users, cands = task_a["users"], task_a["candidates"]
+                n_list = cands.shape[1]
+                for row in range(len(users)):
+                    u_rep = np.full(n_list, users[row], dtype=np.int64)
+                    scores = model.score_items(u_rep, cands[row])
+                    acc_a.add(rank_of_positive(np.asarray(scores.data).ravel(), 0))
+
+                acc_b = RankingAccumulator(self.cutoff)
+                users, items, cands = (
+                    task_b["users"],
+                    task_b["items"],
+                    task_b["candidates"],
+                )
+                n_list = cands.shape[1]
+                for row in range(len(users)):
+                    u_rep = np.full(n_list, users[row], dtype=np.int64)
+                    i_rep = np.full(n_list, items[row], dtype=np.int64)
+                    scores = model.score_participants(u_rep, i_rep, cands[row])
+                    acc_b.add(rank_of_positive(np.asarray(scores.data).ravel(), 0))
+        finally:
+            if was_training:
+                model.train()
+        return EvalResult(task_a=acc_a.result(), task_b=acc_b.result())
+
+
+def evaluate_model(
+    model,
+    dataset: GroupBuyingDataset,
+    protocols: Sequence[tuple] = ((9, 10), (99, 100)),
+    seed: SeedLike = 123,
+    split: str = "test",
+    max_instances: Optional[int] = None,
+) -> Dict[str, EvalResult]:
+    """Run the paper's two standard protocols and key results by cutoff.
+
+    Returns e.g. ``{"@10": EvalResult, "@100": EvalResult}``.
+    """
+    out: Dict[str, EvalResult] = {}
+    for n_neg, cutoff in protocols:
+        protocol = EvalProtocol(
+            dataset=dataset,
+            n_negatives=n_neg,
+            cutoff=cutoff,
+            seed=seed,
+            split=split,
+            max_instances=max_instances,
+        )
+        out[f"@{cutoff}"] = protocol.run(model)
+    return out

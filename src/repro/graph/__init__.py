@@ -1,0 +1,35 @@
+"""``repro.graph`` — interaction views, normalized adjacencies, GCNs.
+
+MGBR learns embeddings from three undirected graphs built from the
+observed deal groups (paper Sec. II-C):
+
+* initiator-view ``G_UI`` — initiator→item launch edges,
+* participant-view ``G_PI`` — participant→item join edges,
+* social-view ``G_UP`` — initiator↔participant co-group edges
+  (participant↔participant edges deliberately omitted).
+
+This package builds those graphs from a dataset, normalizes them
+(``Â = D^{-1/2}(A+I)D^{-1/2}``), runs GCN stacks over them (Eq. 1-3),
+and also provides the merged heterogeneous graph used by the MGBR-D
+ablation.
+"""
+
+from repro.graph.adjacency import (
+    degree_vector,
+    edges_to_adjacency,
+    normalized_adjacency,
+)
+from repro.graph.gcn import GCN, GCNLayer
+from repro.graph.hin import build_hin_adjacency
+from repro.graph.views import GraphViews, build_views
+
+__all__ = [
+    "edges_to_adjacency",
+    "normalized_adjacency",
+    "degree_vector",
+    "GCNLayer",
+    "GCN",
+    "GraphViews",
+    "build_views",
+    "build_hin_adjacency",
+]

@@ -1,0 +1,87 @@
+"""Adjacency-matrix construction and GCN normalization.
+
+The paper's propagation rule (Eq. 1-3) uses "normalized adjacency
+matrices with self-loops".  We implement the standard Kipf-Welling
+symmetric normalization ``Â = D̃^{-1/2} (A + I) D̃^{-1/2}`` where
+``D̃`` is the degree matrix of ``A + I``; isolated nodes therefore
+propagate only their own features (their row of ``Â`` is the self-loop).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["edges_to_adjacency", "normalized_adjacency", "degree_vector"]
+
+
+def edges_to_adjacency(
+    edges: Sequence[Tuple[int, int]],
+    n_nodes: int,
+    symmetric: bool = True,
+    weights: Iterable[float] = None,
+) -> sp.csr_matrix:
+    """Build an ``(n_nodes, n_nodes)`` adjacency matrix from an edge list.
+
+    Parameters
+    ----------
+    edges: iterable of ``(src, dst)`` node-index pairs.  Duplicate edges
+        collapse to weight 1 (binary adjacency) unless ``weights`` given,
+        in which case duplicates sum.
+    n_nodes: total node count (matrix dimension).
+    symmetric: also insert the reverse edge (the paper's graphs are
+        undirected).
+    weights: optional per-edge weights (default all ones).
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    edge_arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+    if edge_arr.size:
+        lo, hi = int(edge_arr.min()), int(edge_arr.max())
+        if lo < 0 or hi >= n_nodes:
+            raise IndexError(
+                f"edge endpoints outside [0, {n_nodes}): min={lo}, max={hi}"
+            )
+    if weights is None:
+        w = np.ones(len(edge_arr), dtype=np.float64)
+    else:
+        w = np.asarray(list(weights), dtype=np.float64)
+        if w.shape[0] != edge_arr.shape[0]:
+            raise ValueError("weights length must match edges length")
+    rows, cols = edge_arr[:, 0], edge_arr[:, 1]
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        w = np.concatenate([w, w])
+    adj = sp.coo_matrix((w, (rows, cols)), shape=(n_nodes, n_nodes)).tocsr()
+    if weights is None:
+        # Binary adjacency: repeated (or reciprocal duplicate) edges clip to 1.
+        adj.data = np.minimum(adj.data, 1.0)
+    adj.eliminate_zeros()
+    return adj
+
+
+def normalized_adjacency(adj: sp.spmatrix, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetrically normalize ``adj``: ``D̃^{-1/2}(A+I)D̃^{-1/2}``.
+
+    This is the ``Â`` of Eq. 1-3.  With ``add_self_loops=False`` it
+    normalizes the bare adjacency (used by NGCF's Laplacian term).
+    Zero-degree rows map to zero rows rather than NaNs.
+    """
+    a = adj.tocsr().astype(np.float64)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"adjacency must be square, got {a.shape}")
+    if add_self_loops:
+        a = a + sp.identity(a.shape[0], format="csr")
+    degree = np.asarray(a.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degree)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_inv = sp.diags(inv_sqrt)
+    return (d_inv @ a @ d_inv).tocsr()
+
+
+def degree_vector(adj: sp.spmatrix) -> np.ndarray:
+    """Row-degree vector of an adjacency matrix."""
+    return np.asarray(adj.tocsr().sum(axis=1)).ravel()

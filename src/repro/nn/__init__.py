@@ -1,0 +1,57 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The paper's reference implementation is PyTorch; this package provides
+the equivalent primitives offline: reverse-mode autograd tensors, stable
+activation/loss functionals, a Module system, standard layers, Adam/SGD
+optimizers, sparse adjacency products for GCNs, and a finite-difference
+gradient checker that the tests use to validate every adjoint.
+"""
+
+from repro.nn import functional
+from repro.nn.gradcheck import gradcheck, numerical_gradient
+from repro.nn.layers import MLP, Dropout, Embedding, Identity, Linear, Sequential
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.sparse import spmm, to_csr
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    no_grad,
+    is_grad_enabled,
+    ones,
+    scatter_rows_sum,
+    stack,
+    take_rows,
+    tensor,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "concat",
+    "stack",
+    "take_rows",
+    "scatter_rows_sum",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "MLP",
+    "Sequential",
+    "Identity",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "spmm",
+    "to_csr",
+    "functional",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,189 @@
+"""Differentiable activation and loss primitives.
+
+These free functions build on :class:`repro.nn.tensor.Tensor` and provide
+numerically-stable implementations of the nonlinearities MGBR's equations
+use: the sigmoid ``σ`` appearing throughout Eq. 1-3 and Eq. 16/17, softmax
+for gate attention, and the log-sigmoid / softplus pair underpinning the
+BPR objectives (Eq. 19/24).  Keeping them out of the :class:`Tensor`
+class mirrors the ``torch.nn.functional`` layout the paper's reference
+code relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "sigmoid",
+    "logsigmoid",
+    "softplus",
+    "relu",
+    "leaky_relu",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "binary_cross_entropy",
+    "mse_loss",
+    "l2_norm",
+]
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically-stable elementwise logistic function ``1/(1+e^-x)``."""
+    value = _stable_sigmoid(x.data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * value * (1.0 - value))
+
+    return Tensor._make(value, (x,), backward)
+
+
+def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Stable sigmoid: never exponentiates a positive argument."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def logsigmoid(x: Tensor) -> Tensor:
+    """Stable ``log σ(x) = -softplus(-x)``.
+
+    This is the exact form of each BPR summand: Eq. 19 optimises
+    ``log σ(s_pos - s_neg)``.
+    """
+    value = -_stable_softplus(-x.data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * _stable_sigmoid(-x.data))
+
+    return Tensor._make(value, (x,), backward)
+
+
+def _stable_softplus(z: np.ndarray) -> np.ndarray:
+    """Stable ``log(1+e^z) = max(z,0) + log1p(e^{-|z|})``."""
+    return np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Stable elementwise softplus ``log(1 + e^x)``."""
+    value = _stable_softplus(x.data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * _stable_sigmoid(x.data))
+
+    return Tensor._make(value, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(x, 0)``."""
+    mask = x.data > 0
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """LeakyReLU, the activation NGCF's propagation layers use."""
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * scale)
+
+    return Tensor._make(x.data * scale, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    value = np.tanh(x.data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * (1.0 - value**2))
+
+    return Tensor._make(value, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (shift-stabilised).
+
+    Gate attention weights over expert banks are softmax-normalised so
+    each gate output is a convex combination of expert outputs.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    ez = np.exp(shifted)
+    value = ez / ez.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (g * value).sum(axis=axis, keepdims=True)
+            x._accumulate(value * (g - dot))
+
+    return Tensor._make(value, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (used by the ListNet-style option)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_z
+    soft = np.exp(value)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(value, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, rescale by ``1/(1-p)``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = (rng.random(x.data.shape) >= p) / (1.0 - p)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * keep)
+
+    return Tensor._make(x.data * keep, (x,), backward)
+
+
+def binary_cross_entropy(pred: Tensor, target: np.ndarray, eps: float = 1e-12) -> Tensor:
+    """Mean BCE between probabilities ``pred`` and 0/1 ``target``.
+
+    Used by the literal reading of Eq. 21, where scores are sigmoid
+    probabilities and only positive-labelled triples contribute.
+    """
+    clipped = pred.clip(eps, 1.0 - eps)
+    t = Tensor(np.asarray(target, dtype=np.float64))
+    loss = -(t * clipped.log() + (1.0 - t) * (1.0 - clipped).log())
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def l2_norm(x: Tensor, axis: Optional[int] = None, eps: float = 1e-12) -> Tensor:
+    """Euclidean norm along ``axis`` (safe at zero)."""
+    return ((x * x).sum(axis=axis) + eps).sqrt()

@@ -1,0 +1,202 @@
+"""Standard neural layers built on the autograd substrate.
+
+These are the building blocks the paper's architecture composes:
+``Linear`` (every ``W`` in Eq. 1-14), ``MLP`` (the prediction heads of
+Eq. 16/17), ``Embedding`` (layer-0 node features and the MF baselines),
+and ``Dropout``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init as inits
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, take_rows
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["Linear", "Embedding", "Dropout", "MLP", "Sequential", "Identity"]
+
+Activation = Callable[[Tensor], Tensor]
+
+_ACTIVATIONS = {
+    "sigmoid": F.sigmoid,
+    "relu": F.relu,
+    "leaky_relu": F.leaky_relu,
+    "tanh": F.tanh,
+    "identity": lambda x: x,
+    "none": lambda x: x,
+}
+
+
+def resolve_activation(activation) -> Activation:
+    """Map an activation name (or callable) to a callable."""
+    if callable(activation):
+        return activation
+    try:
+        return _ACTIVATIONS[str(activation).lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown activation {activation!r}; known: {sorted(_ACTIVATIONS)}"
+        ) from exc
+
+
+class Identity(Module):
+    """No-op module, useful as a placeholder in ablations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return the input unchanged."""
+        return x
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-initialised ``W``.
+
+    Parameters
+    ----------
+    in_features / out_features: matrix dimensions (``W ∈ R^{in×out}``).
+    bias: include the additive bias term.
+    seed: RNG for initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+        gain: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"Linear dims must be positive, got {in_features}x{out_features}"
+            )
+        rng = as_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            inits.xavier_uniform((in_features, out_features), rng, gain=gain), "weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map to the trailing dimension of ``x``."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Learnable lookup table ``(num_embeddings, dim)``.
+
+    The paper's layer-0 GCN features ``X⁰`` are exactly such a table,
+    initialised from a standard Gaussian (Sec. II-C2).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        seed: SeedLike = None,
+        std: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError(
+                f"Embedding dims must be positive, got {num_embeddings}x{dim}"
+            )
+        rng = as_rng(seed)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(inits.normal_((num_embeddings, dim), rng, std=std), "weight")
+
+    def forward(self, index) -> Tensor:
+        """Gather rows for integer ``index`` (1-D array-like)."""
+        return take_rows(self.weight, np.asarray(index, dtype=np.int64))
+
+    def all(self) -> Tensor:
+        """The full table as a tensor (input to full-graph GCNs)."""
+        return self.weight
+
+
+class Dropout(Module):
+    """Inverted dropout active only in training mode."""
+
+    def __init__(self, p: float = 0.5, seed: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero elements of ``x`` when training."""
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_list: List[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self._layer_list.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Chain the layers left to right."""
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layer_list)
+
+    def __len__(self) -> int:
+        return len(self._layer_list)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes.
+
+    ``MLP(d_in, [h1, h2], 1)`` builds ``d_in→h1→h2→1`` with the hidden
+    activation between layers and no activation after the last layer
+    (Eq. 16/17 apply the sigmoid outside the MLP).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        activation="relu",
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        self.activation = resolve_activation(activation)
+        dims = [in_features, *hidden, out_features]
+        self._linears: List[Linear] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, seed=rng)
+            setattr(self, f"fc{i}", layer)
+            self._linears.append(layer)
+        self.drop: Optional[Dropout] = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the stack; hidden activations (and dropout) between layers."""
+        last = len(self._linears) - 1
+        for i, layer in enumerate(self._linears):
+            x = layer(x)
+            if i != last:
+                x = self.activation(x)
+                if self.drop is not None:
+                    x = self.drop(x)
+        return x

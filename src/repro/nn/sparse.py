@@ -1,0 +1,61 @@
+"""Sparse-matrix support for graph convolutions.
+
+The normalized adjacency matrices ``Â`` in Eq. 1-3 are constant (the
+graphs are fixed before training), so only the dense right-hand operand
+of ``Â @ X`` needs gradient flow.  :func:`spmm` wraps scipy CSR matrices
+into the autograd graph with exactly that one-sided adjoint:
+``∂L/∂X = Âᵀ (∂L/∂Y)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["spmm", "to_csr"]
+
+
+def to_csr(matrix) -> sp.csr_matrix:
+    """Coerce dense/sparse input into canonical CSR float64."""
+    if sp.issparse(matrix):
+        out = matrix.tocsr()
+    else:
+        out = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+    if out.dtype != np.float64:
+        out = out.astype(np.float64)
+    return out
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse-dense product ``matrix @ dense`` with gradient to ``dense``.
+
+    Parameters
+    ----------
+    matrix:
+        A fixed (non-trainable) ``(n, m)`` scipy sparse matrix — in this
+        library always a normalized adjacency with self-loops.
+    dense:
+        An ``(m, d)`` tensor of node features.
+
+    Returns
+    -------
+    Tensor
+        ``(n, d)`` propagated features; backward applies ``matrixᵀ``.
+    """
+    csr = to_csr(matrix)
+    if dense.ndim != 2:
+        raise ValueError(f"spmm expects a 2-D dense operand, got shape {dense.shape}")
+    if csr.shape[1] != dense.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: sparse {csr.shape} @ dense {dense.shape}"
+        )
+    value = csr @ dense.data
+    csr_t = csr.T.tocsr()
+
+    def backward(g: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(csr_t @ g)
+
+    return Tensor._make(np.asarray(value), (dense,), backward)

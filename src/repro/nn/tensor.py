@@ -1,0 +1,584 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the reproduction: the paper's reference
+implementation uses PyTorch, which is unavailable in this offline
+environment, so we implement the subset of tensor autograd that MGBR and
+the baselines need — dense broadcasting arithmetic, matrix products
+(including batched), gather/scatter row indexing for embedding lookups,
+reductions, concatenation, and the usual activation functions (the
+nonlinearities themselves live in :mod:`repro.nn.functional`).
+
+Design notes
+------------
+* A :class:`Tensor` wraps an ``np.ndarray`` (``float64`` by default so the
+  finite-difference gradient checker in :mod:`repro.nn.gradcheck` is
+  meaningful) plus an optional gradient buffer and a backward closure.
+* The graph is a DAG of tensors; :meth:`Tensor.backward` runs a
+  depth-first topological sort and accumulates gradients with ``+=`` so
+  shared sub-expressions (e.g. the GCN embeddings feeding three gates)
+  receive the sum of their downstream gradients.
+* Broadcasting follows NumPy semantics; :func:`_unbroadcast` folds a
+  gradient back onto the operand's original shape by summing the
+  broadcast axes.
+* :func:`no_grad` disables graph construction globally, mirroring
+  ``torch.no_grad`` — evaluation loops use it to avoid building graphs
+  for millions of candidate scores.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "no_grad",
+    "is_grad_enabled",
+    "concat",
+    "stack",
+    "take_rows",
+    "scatter_rows_sum",
+]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the autograd tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables autograd graph construction.
+
+    Inside the block every operation produces constant tensors with
+    ``requires_grad=False`` and no backward closure, exactly like
+    ``torch.no_grad()``.  Used by evaluation and by the trainers'
+    embedding pre-computation step.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes.
+
+    NumPy broadcasting either prepends length-1 axes or stretches existing
+    length-1 axes; the adjoint of both is a sum over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode automatic differentiation.
+
+    Attributes
+    ----------
+    data:
+        The underlying ``np.ndarray`` value.
+    grad:
+        Accumulated gradient of the same shape, or ``None`` before
+        :meth:`backward` (or for constants).
+    requires_grad:
+        Whether this tensor participates in differentiation.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):  # pragma: no cover - defensive
+            data = data.data
+        arr = np.asarray(data, dtype=np.float64)
+        self.data = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of a 2-D tensor (alias for :meth:`transpose`)."""
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{tag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw value (no copy); do not mutate in place."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a constant tensor sharing this tensor's data."""
+        out = Tensor(self.data)
+        out.requires_grad = False
+        return out
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Clear the gradient buffer (used by optimizers between steps)."""
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some downstream scalar with respect to this
+            tensor.  Defaults to 1 for scalar tensors (the usual
+            ``loss.backward()`` call); required for non-scalars.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen or not node.requires_grad:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            order.append(node)
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Construct a graph node whose grad flows to ``parents``."""
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        if needs:
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.data.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.data.shape))
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-g * self.data / (other.data**2), other.data.shape)
+                )
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    # (..., n) @ (n,) -> (...): outer-product adjoint.
+                    grad_self = np.expand_dims(g, -1) * other.data
+                else:
+                    grad_self = g @ np.swapaxes(other.data, -1, -2)
+                if self.data.ndim == 1 and grad_self.ndim > 1:
+                    grad_self = grad_self.sum(axis=tuple(range(grad_self.ndim - 1)))
+                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.expand_dims(self.data, -1) * np.expand_dims(g, -2)
+                elif other.data.ndim == 1:
+                    grad_other = (np.swapaxes(self.data, -1, -2) @ np.expand_dims(g, -1))[..., 0]
+                    if grad_other.ndim > 1:
+                        grad_other = grad_other.sum(axis=tuple(range(grad_other.ndim - 1)))
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ g
+                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        value = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        value = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * 0.5 / value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient 0 at 0)."""
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * np.sign(self.data))
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside."""
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when ``None``)."""
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = g
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+            self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when ``None``)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties split gradient equally."""
+        value = self.data.max(axis=axis, keepdims=True)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            elif axis is None and not keepdims:
+                grad = np.broadcast_to(grad, (1,) * self.data.ndim)
+            mask = self.data == value
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(np.broadcast_to(grad, self.data.shape) * mask / counts)
+
+        out_value = value if keepdims or axis is None else np.squeeze(value, axis=axis)
+        if axis is None and not keepdims:
+            out_value = np.asarray(out_value).reshape(())
+        return Tensor._make(out_value, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a reshaped view of this tensor."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g.reshape(self.data.shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, axis0: int = -2, axis1: int = -1) -> "Tensor":
+        """Swap two axes (defaults transpose the trailing matrix dims)."""
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(g, axis0, axis1))
+
+        return Tensor._make(np.swapaxes(self.data, axis0, axis1), (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        """Slice / fancy-index; gradients scatter-add back into place."""
+        if isinstance(key, Tensor):
+            key = key.data.astype(np.int64)
+        value = self.data[key]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, key, g)
+                self._accumulate(grad)
+
+        return Tensor._make(value, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors on instances
+    # ------------------------------------------------------------------
+    def zeros_like(self) -> "Tensor":
+        """Constant zero tensor with this tensor's shape."""
+        return Tensor(np.zeros_like(self.data))
+
+
+def _as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce scalars/arrays into constant tensors (no-op for tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False, name: str = "") -> Tensor:
+    """Create a tensor (the public constructor).
+
+    Parameters
+    ----------
+    data: array-like initial value (copied into ``float64``).
+    requires_grad: whether to track operations for differentiation.
+    name: optional debugging label.
+    """
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Tensor of zeros with the given shape."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Tensor of ones with the given shape."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (the paper's ``||`` operator).
+
+    Gradient slices flow back to each operand.  This is the workhorse of
+    MGBR: view concatenation (Eq. 4-6), gate inputs (Eq. 7-9) and the
+    adjusted-gate pair features (Eq. 11) are all concatenations.
+    """
+    tensors = [_as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat() needs at least one tensor")
+    value = np.concatenate([t.data for t in tensors], axis=axis)
+    ax = axis % value.ndim
+    sizes = [t.data.shape[ax] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * g.ndim
+                index[ax] = slice(int(start), int(stop))
+                t._accumulate(g[tuple(index)])
+
+    return Tensor._make(value, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack equal-shaped tensors along a new axis.
+
+    Used to assemble the per-layer expert banks ``E^l`` from the ``K``
+    individual expert outputs before the gate attention.
+    """
+    tensors = [_as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("stack() needs at least one tensor")
+    value = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        slices = np.moveaxis(g, axis, 0)
+        for t, piece in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor._make(value, tuple(tensors), backward)
+
+
+def take_rows(source: Tensor, index: ArrayLike) -> Tensor:
+    """Gather rows ``source[index]`` (embedding lookup).
+
+    ``index`` is a 1-D integer array; the gradient scatter-adds into the
+    source rows, which makes repeated indices (mini-batches hitting the
+    same user) accumulate correctly.
+    """
+    idx = np.asarray(index, dtype=np.int64)
+    value = source.data[idx]
+
+    def backward(g: np.ndarray) -> None:
+        if source.requires_grad:
+            grad = np.zeros_like(source.data)
+            np.add.at(grad, idx, g)
+            source._accumulate(grad)
+
+    return Tensor._make(value, (source,), backward)
+
+
+def scatter_rows_sum(rows: Tensor, index: ArrayLike, n_rows: int) -> Tensor:
+    """Scatter-add ``rows`` into an ``(n_rows, d)`` zero tensor.
+
+    The adjoint of :func:`take_rows`; used for segment-sum style pooling
+    (e.g. averaging participant embeddings per group).
+    """
+    idx = np.asarray(index, dtype=np.int64)
+    value = np.zeros((n_rows,) + rows.data.shape[1:], dtype=np.float64)
+    np.add.at(value, idx, rows.data)
+
+    def backward(g: np.ndarray) -> None:
+        if rows.requires_grad:
+            rows._accumulate(g[idx])
+
+    return Tensor._make(value, (rows,), backward)

@@ -1,0 +1,20 @@
+"""``repro.training`` — the joint two-task optimisation loop.
+
+Implements Sec. II-F: BPR objectives for both sub-tasks with negative
+sampling, the auxiliary losses of Sec. II-G for models that support
+them, Adam updates, early stopping, histories and checkpoints.
+"""
+
+from repro.training.checkpoint import load_checkpoint, restore_model, save_checkpoint
+from repro.training.history import EpochRecord, History
+from repro.training.trainer import TrainConfig, Trainer
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "History",
+    "EpochRecord",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_model",
+]

@@ -1,0 +1,65 @@
+"""Model checkpointing to ``.npz``.
+
+Checkpoints hold the flat parameter state-dict plus a small JSON header
+(model class name, step counter), enough to restore a model built with
+the same constructor arguments — matching how the sweep benchmarks
+retrain-and-restore best epochs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_model"]
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model: Module, path: PathLike, extra: Optional[Dict] = None) -> Path:
+    """Write ``model``'s parameters (and optional metadata) to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    meta = {"model_class": type(model).__name__, "extra": extra or {}}
+    payload = dict(model.state_dict())
+    payload[_META_KEY] = np.bytes_(json.dumps(meta).encode())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(path: PathLike) -> Dict:
+    """Read a checkpoint into ``{"state": {...}, "meta": {...}}``."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode())
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    return {"state": state, "meta": meta}
+
+
+def restore_model(model: Module, path: PathLike, strict: bool = True) -> Dict:
+    """Load a checkpoint's parameters into ``model``; returns the metadata.
+
+    Raises ``ValueError`` when the checkpoint came from a different model
+    class (unless ``strict=False``).
+    """
+    payload = load_checkpoint(path)
+    if strict and payload["meta"]["model_class"] != type(model).__name__:
+        raise ValueError(
+            f"checkpoint is for {payload['meta']['model_class']}, "
+            f"refusing to load into {type(model).__name__}"
+        )
+    model.load_state_dict(payload["state"], strict=strict)
+    if hasattr(model, "invalidate_cache"):
+        model.invalidate_cache()
+    return payload["meta"]

@@ -1,0 +1,103 @@
+"""Training history: loss curves and periodic evaluation snapshots.
+
+A :class:`History` is a list of per-epoch records the trainer appends
+to; it renders compact progress lines, answers "best epoch so far" for
+early stopping, and serialises to JSON for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["EpochRecord", "History"]
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's bookkeeping."""
+
+    epoch: int
+    losses: Dict[str, float]
+    metrics: Dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def line(self) -> str:
+        """Human-readable one-line summary."""
+        parts = [f"epoch {self.epoch:3d}", f"{self.seconds:6.2f}s"]
+        parts += [f"{k}={v:.4f}" for k, v in self.losses.items()]
+        parts += [f"{k}={v:.4f}" for k, v in self.metrics.items()]
+        return "  ".join(parts)
+
+
+@dataclass
+class History:
+    """Ordered collection of :class:`EpochRecord`."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        """Add an epoch record (epochs must be monotone)."""
+        if self.records and record.epoch <= self.records[-1].epoch:
+            raise ValueError(
+                f"epoch {record.epoch} not after {self.records[-1].epoch}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def last(self) -> EpochRecord:
+        """Most recent record."""
+        if not self.records:
+            raise IndexError("history is empty")
+        return self.records[-1]
+
+    def best_epoch(self, metric: str, maximize: bool = True) -> Optional[EpochRecord]:
+        """Record with the best value of ``metric`` (None if never logged)."""
+        scored = [r for r in self.records if metric in r.metrics]
+        if not scored:
+            return None
+        key = (lambda r: r.metrics[metric]) if maximize else (lambda r: -r.metrics[metric])
+        return max(scored, key=key)
+
+    def loss_curve(self, name: str = "total") -> List[float]:
+        """Sequence of one loss component across epochs."""
+        return [r.losses[name] for r in self.records if name in r.losses]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self, path) -> Path:
+        """Dump the history to a JSON file; returns the path."""
+        path = Path(path)
+        doc = [
+            {
+                "epoch": r.epoch,
+                "losses": r.losses,
+                "metrics": r.metrics,
+                "seconds": r.seconds,
+            }
+            for r in self.records
+        ]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=1))
+        return path
+
+    @classmethod
+    def from_json(cls, path) -> "History":
+        """Load a history previously written by :meth:`to_json`."""
+        doc = json.loads(Path(path).read_text())
+        history = cls()
+        for entry in doc:
+            history.append(
+                EpochRecord(
+                    epoch=int(entry["epoch"]),
+                    losses=dict(entry["losses"]),
+                    metrics=dict(entry.get("metrics", {})),
+                    seconds=float(entry.get("seconds", 0.0)),
+                )
+            )
+        return history

@@ -1,0 +1,295 @@
+"""Joint two-task trainer implementing the paper's optimisation loop.
+
+Each training step draws one mini-batch of Task-A positives and one of
+Task-B positives (both with 1:``train_negatives`` negative sampling,
+Sec. III-A2), shares a single encoder pass across both tasks and all
+negatives, assembles Eq. 25's objective
+
+    ``L = L_A + β L_B + β_A L'_A + β_B L'_B``
+
+(the auxiliary terms only for models that support them), back-propagates
+and takes an Adam step (Sec. II-F).  Early stopping tracks a validation
+metric with patience.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.core.config import MGBRConfig
+from repro.core.losses import aux_loss_task_a, aux_loss_task_b, bpr_loss, total_loss
+from repro.data.batching import iter_task_a_batches, iter_task_b_batches
+from repro.data.negative import NegativeSampler
+from repro.data.samples import extract_task_a, extract_task_b
+from repro.data.schema import GroupBuyingDataset
+from repro.eval.protocol import EvalProtocol
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.training.history import EpochRecord, History
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+__all__ = ["TrainConfig", "Trainer"]
+
+logger = get_logger("training")
+
+
+@dataclass
+class TrainConfig:
+    """Loop hyper-parameters (model architecture lives in the model).
+
+    Attributes mirror the paper's Table II where applicable:
+    ``batch_size`` |B|, ``learning_rate`` ρ, ``train_negatives`` the 1:9
+    sampling ratio, ``beta``/``beta_a``/``beta_b`` the loss weights, and
+    ``aux_negatives`` |T|.
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    learning_rate: float = 2e-4
+    train_negatives: int = 9
+    beta: float = 1.0
+    beta_a: float = 0.3
+    beta_b: float = 0.3
+    aux_negatives: int = 99
+    aux_a_mode: str = "literal"
+    grad_clip: float = 5.0
+    eval_every: int = 0          # 0 disables periodic validation
+    eval_max_instances: Optional[int] = 200
+    patience: int = 0            # 0 disables early stopping
+    monitor: str = "combined"    # validation metric for best/patience;
+                                 # "combined" = A/MRR@10 + B/MRR@10 (both
+                                 # sub-tasks matter, as in the paper)
+    restore_best: bool = False   # reload the best-monitor weights after fit()
+    seed: SeedLike = 0
+    verbose: bool = False
+
+    @classmethod
+    def from_mgbr(cls, config: MGBRConfig, **overrides) -> "TrainConfig":
+        """Derive loop settings from an :class:`MGBRConfig`."""
+        base = dict(
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            train_negatives=config.train_negatives,
+            beta=config.beta,
+            beta_a=config.beta_a,
+            beta_b=config.beta_b,
+            aux_negatives=config.aux_negatives,
+            aux_a_mode=config.aux_a_mode,
+            grad_clip=config.grad_clip,
+            seed=config.seed,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+
+class Trainer:
+    """Drives joint optimisation of any :class:`GroupBuyingRecommender`.
+
+    Parameters
+    ----------
+    model: the recommender (MGBR, a variant, or a baseline).
+    dataset: supplies the train split, samplers and validation split.
+    config: loop hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset: GroupBuyingDataset,
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainConfig()
+        rng_sampler, rng_batches = spawn_rngs(self.config.seed, 2)
+        self.sampler = NegativeSampler(dataset, seed=rng_sampler)
+        self._batch_rng = rng_batches
+        self.task_a = extract_task_a(dataset.train)
+        self.task_b = extract_task_b(dataset.train)
+        if len(self.task_a) == 0 or len(self.task_b) == 0:
+            raise ValueError("training split yields no samples for one of the tasks")
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self.history = History()
+        self._epoch = 0
+        self._validation_protocol: Optional[EvalProtocol] = None
+        if self.config.eval_every and dataset.validation:
+            self._validation_protocol = EvalProtocol(
+                dataset,
+                n_negatives=9,
+                cutoff=10,
+                split="validation",
+                max_instances=self.config.eval_max_instances,
+            )
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _paired_batches(self) -> Iterator[Dict[str, Dict[str, np.ndarray]]]:
+        """Zip Task-A and Task-B batches, cycling the shorter stream."""
+        cfg = self.config
+        n_a = max(1, (len(self.task_a) + cfg.batch_size - 1) // cfg.batch_size)
+        n_b = max(1, (len(self.task_b) + cfg.batch_size - 1) // cfg.batch_size)
+        steps = max(n_a, n_b)
+        gen_a = itertools.cycle(
+            iter_task_a_batches(self.task_a, cfg.batch_size, seed=self._batch_rng)
+        )
+        gen_b = itertools.cycle(
+            iter_task_b_batches(self.task_b, cfg.batch_size, seed=self._batch_rng)
+        )
+        for _ in range(steps):
+            yield {"a": next(gen_a), "b": next(gen_b)}
+
+    # ------------------------------------------------------------------
+    # One optimisation step
+    # ------------------------------------------------------------------
+    def _step(self, batch_a: Dict[str, np.ndarray], batch_b: Dict[str, np.ndarray]) -> Dict[str, float]:
+        cfg = self.config
+        model = self.model
+        emb = model.compute_embeddings()
+
+        # --- Task A (Eq. 19, L_A) -------------------------------------
+        users_a, items_a = batch_a["users"], batch_a["items"]
+        pos_a = model.score_items_from(emb, users_a, items_a, raw=True)
+        neg_items = self.sampler.sample_items_batch(users_a, cfg.train_negatives)
+        neg_a = model.score_items_from(
+            emb,
+            np.repeat(users_a, cfg.train_negatives),
+            neg_items.ravel(),
+            raw=True,
+        ).reshape(len(users_a), cfg.train_negatives)
+        loss_a = bpr_loss(pos_a, neg_a)
+
+        # --- Task B (Eq. 19, L_B) -------------------------------------
+        users_b, items_b, parts_b = (
+            batch_b["users"],
+            batch_b["items"],
+            batch_b["participants"],
+        )
+        pos_b = model.score_participants_from(emb, users_b, items_b, parts_b, raw=True)
+        neg_parts = self.sampler.sample_participants_batch(
+            users_b, items_b, cfg.train_negatives
+        )
+        neg_b = model.score_participants_from(
+            emb,
+            np.repeat(users_b, cfg.train_negatives),
+            np.repeat(items_b, cfg.train_negatives),
+            neg_parts.ravel(),
+            raw=True,
+        ).reshape(len(users_b), cfg.train_negatives)
+        loss_b = bpr_loss(pos_b, neg_b)
+
+        # --- Auxiliary losses (Sec. II-G) ------------------------------
+        aux_a = aux_b = None
+        use_aux = getattr(model, "supports_aux_losses", False) and (
+            cfg.beta_a > 0 or cfg.beta_b > 0
+        )
+        if use_aux:
+            corrupted_items = self.sampler.corrupt_items(users_b, items_b, cfg.aux_negatives)
+            corrupted_parts = self.sampler.corrupt_participants(
+                users_b, items_b, cfg.aux_negatives
+            )
+            if cfg.beta_a > 0:
+                aux_a = aux_loss_task_a(
+                    model, emb, users_b, items_b, parts_b,
+                    corrupted_items, corrupted_parts, mode=cfg.aux_a_mode,
+                )
+            if cfg.beta_b > 0:
+                aux_b = aux_loss_task_b(
+                    model, emb, users_b, items_b, parts_b, corrupted_items
+                )
+
+        loss = total_loss(loss_a, loss_b, aux_a, aux_b, cfg.beta, cfg.beta_a, cfg.beta_b)
+        model.zero_grad()
+        loss.backward()
+        if cfg.grad_clip > 0:
+            clip_grad_norm(model.parameters(), cfg.grad_clip)
+        self.optimizer.step()
+        model.invalidate_cache()
+        return {
+            "L_A": float(loss_a.data),
+            "L_B": float(loss_b.data),
+            "L'_A": float(aux_a.data) if aux_a is not None else 0.0,
+            "L'_B": float(aux_b.data) if aux_b is not None else 0.0,
+            "total": float(loss.data),
+        }
+
+    # ------------------------------------------------------------------
+    # Epoch / full loop
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> EpochRecord:
+        """Run one epoch; returns (and records) its :class:`EpochRecord`."""
+        self.model.train()
+        started = time.perf_counter()
+        totals: Dict[str, float] = {}
+        steps = 0
+        for pair in self._paired_batches():
+            losses = self._step(pair["a"], pair["b"])
+            for key, value in losses.items():
+                totals[key] = totals.get(key, 0.0) + value
+            steps += 1
+        self._epoch += 1
+        record = EpochRecord(
+            epoch=self._epoch,
+            losses={k: v / steps for k, v in totals.items()},
+            seconds=time.perf_counter() - started,
+        )
+        if (
+            self._validation_protocol is not None
+            and self._epoch % self.config.eval_every == 0
+        ):
+            record.metrics = self._validation_protocol.run(self.model).flat()
+        self.history.append(record)
+        if self.config.verbose:
+            logger.info(record.line())
+        return record
+
+    def fit(self) -> History:
+        """Train for ``config.epochs`` epochs with optional early stopping.
+
+        With ``restore_best=True`` (and periodic validation enabled) the
+        model's parameters are rolled back to the epoch that maximised
+        ``config.monitor`` — matching the paper's practice of reporting
+        tuned/best results rather than the last epoch.
+        """
+        cfg = self.config
+        best = -np.inf
+        best_state = None
+        stale = 0
+        for _ in range(cfg.epochs):
+            record = self.train_epoch()
+            value = self._monitor_value(record)
+            if value is not None:
+                if value > best + 1e-6:
+                    best, stale = value, 0
+                    if cfg.restore_best:
+                        best_state = self.model.state_dict()
+                elif cfg.patience:
+                    stale += 1
+                    if stale >= cfg.patience:
+                        if cfg.verbose:
+                            logger.info(
+                                "early stop at epoch %d (%s stalled at %.4f)",
+                                record.epoch, cfg.monitor, best,
+                            )
+                        break
+        if cfg.restore_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+            self.model.invalidate_cache()
+        return self.history
+
+    def _monitor_value(self, record: EpochRecord) -> Optional[float]:
+        """Resolve the monitored metric for ``record`` (None if absent)."""
+        if not record.metrics:
+            return None
+        if self.config.monitor == "combined":
+            a = record.metrics.get("A/MRR@10")
+            b = record.metrics.get("B/MRR@10")
+            if a is None or b is None:
+                return None
+            return a + b
+        return record.metrics.get(self.config.monitor)

@@ -1,0 +1,110 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in this repository (dataset synthesis, weight
+initialisation, negative sampling, dropout) accepts either an integer seed
+or a :class:`numpy.random.Generator`.  Centralising the coercion here keeps
+experiments reproducible: the benchmark harness passes explicit seeds and
+each component derives independent child streams via
+:func:`numpy.random.SeedSequence.spawn`, so adding a new consumer never
+perturbs the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+__all__ = ["SeedLike", "as_rng", "spawn_rngs", "RngMixin"]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS-entropy generator), an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged so callers can share a stream deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot interpret {type(seed).__name__} as an RNG seed")
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``seed``.
+
+    Child streams are stable under insertion: stream ``k`` depends only on
+    the root seed and ``k``, never on how many siblings exist.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of RNGs: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Generators cannot be re-seeded deterministically; derive children
+        # from integers drawn off the parent stream instead.
+        return [np.random.default_rng(int(seed.integers(2**63))) for _ in range(n)]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily-created, seedable ``self.rng``."""
+
+    _rng: Optional[np.random.Generator] = None
+    _seed: SeedLike = None
+
+    def seed(self, seed: SeedLike) -> None:
+        """Reset the internal generator from ``seed``."""
+        self._seed = seed
+        self._rng = as_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The component's private generator (created on first access)."""
+        if self._rng is None:
+            self._rng = as_rng(self._seed)
+        return self._rng
+
+
+def choice_excluding(
+    rng: np.random.Generator,
+    high: int,
+    exclude: Iterable[int],
+    size: int,
+) -> np.ndarray:
+    """Sample ``size`` integers uniformly from ``[0, high)`` avoiding ``exclude``.
+
+    Used by the negative samplers: e.g. draw items a user never bought.
+    Rejection sampling is used while the exclusion set is small relative to
+    ``high`` (the common recommender-system regime); otherwise we fall back
+    to an explicit complement draw, which is exact.
+    """
+    excluded = set(int(x) for x in exclude)
+    n_allowed = high - len(excluded)
+    if n_allowed <= 0:
+        raise ValueError(
+            f"cannot sample from [0, {high}) excluding {len(excluded)} values: nothing left"
+        )
+    if size < 0:
+        raise ValueError(f"negative sample size: {size}")
+    # Dense exclusion (>50%): enumerate the complement once.
+    if len(excluded) * 2 >= high:
+        allowed = np.setdiff1d(np.arange(high), np.fromiter(excluded, dtype=np.int64))
+        return rng.choice(allowed, size=size, replace=True)
+    out = np.empty(size, dtype=np.int64)
+    filled = 0
+    while filled < size:
+        draw = rng.integers(0, high, size=(size - filled) * 2)
+        good = draw[~np.isin(draw, np.fromiter(excluded, dtype=np.int64))] if excluded else draw
+        take = min(good.size, size - filled)
+        out[filled : filled + take] = good[:take]
+        filled += take
+    return out

@@ -1,0 +1,95 @@
+"""Tests for the analysis package: params, timing, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    count_parameters,
+    format_param_table,
+    parameter_breakdown,
+    time_training_epoch,
+)
+from repro.analysis.sweeps import SweepPoint, SweepResult, run_sweep
+from repro.baselines import GBMF
+from repro.core import MGBRConfig
+from repro.training import TrainConfig
+
+
+class TestParams:
+    def test_count_matches_module(self, tiny_mgbr):
+        assert count_parameters(tiny_mgbr) == tiny_mgbr.num_parameters()
+
+    def test_breakdown_sums_to_total(self, tiny_mgbr):
+        breakdown = parameter_breakdown(tiny_mgbr, depth=1)
+        assert sum(breakdown.values()) == tiny_mgbr.num_parameters()
+
+    def test_breakdown_top_level_components(self, tiny_mgbr):
+        breakdown = parameter_breakdown(tiny_mgbr, depth=1)
+        assert {"encoder", "mtl", "head_a", "head_b"} <= set(breakdown)
+
+    def test_breakdown_depth2_finer(self, tiny_mgbr):
+        d1 = parameter_breakdown(tiny_mgbr, depth=1)
+        d2 = parameter_breakdown(tiny_mgbr, depth=2)
+        assert len(d2) > len(d1)
+        assert sum(d2.values()) == sum(d1.values())
+
+    def test_invalid_depth(self, tiny_mgbr):
+        with pytest.raises(ValueError):
+            parameter_breakdown(tiny_mgbr, depth=0)
+
+    def test_format_table(self):
+        text = format_param_table({"a": 10, "b": 200}, title="T")
+        assert "T" in text and "TOTAL" in text and "210" in text
+
+
+class TestTiming:
+    def test_timing_runs_and_reports(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=4, seed=0)
+        timing = time_training_epoch(
+            model, tiny_dataset,
+            TrainConfig(epochs=1, batch_size=64, train_negatives=2, seed=0),
+            n_epochs=1,
+        )
+        assert timing.seconds_per_epoch > 0
+        assert timing.minutes_per_epoch == pytest.approx(timing.seconds_per_epoch / 60)
+        assert timing.model_name == "GBMF"
+        assert timing.n_parameters == model.num_parameters()
+
+    def test_invalid_epochs(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=4, seed=0)
+        with pytest.raises(ValueError):
+            time_training_epoch(model, tiny_dataset, n_epochs=0)
+
+
+class TestSweepResult:
+    def _result(self):
+        result = SweepResult(parameter="beta_a")
+        result.points = [
+            SweepPoint(0.1, {"B/MRR@10": 0.3}),
+            SweepPoint(0.3, {"B/MRR@10": 0.5}),
+            SweepPoint(0.5, {"B/MRR@10": 0.4}),
+        ]
+        return result
+
+    def test_series_and_values(self):
+        result = self._result()
+        assert result.values() == [0.1, 0.3, 0.5]
+        assert result.series("B/MRR@10") == [0.3, 0.5, 0.4]
+
+    def test_best(self):
+        assert self._result().best("B/MRR@10").value == 0.3
+
+
+class TestRunSweep:
+    def test_two_point_sweep_executes(self, tiny_dataset):
+        base = MGBRConfig.small(
+            d=8, n_experts=2, mtl_layers=1, aux_negatives=2, train_negatives=2,
+            learning_rate=5e-3, seed=0,
+        )
+        result = run_sweep(
+            "beta_a", [0.1, 0.3], tiny_dataset, base,
+            epochs=1, eval_max_instances=5, tie_parameters=("beta_b",),
+        )
+        assert len(result.points) == 2
+        assert all("B/MRR@10" in p.metrics for p in result.points)
+        assert result.values() == [0.1, 0.3]

@@ -1,0 +1,114 @@
+"""Tests for MGBRConfig: Table II defaults, validation, profiles."""
+
+import pytest
+
+from repro.core import MGBRConfig
+from repro.core.variants import VARIANTS, variant_config
+
+
+class TestTableIIDefaults:
+    def test_paper_values(self):
+        cfg = MGBRConfig.paper()
+        assert cfg.d == 128
+        assert cfg.gcn_layers == 2        # H
+        assert cfg.n_experts == 6         # K
+        assert cfg.mtl_layers == 2        # L
+        assert cfg.aux_negatives == 99    # |T|
+        assert cfg.alpha_a == 0.1 and cfg.alpha_b == 0.1
+        assert cfg.beta == 1.0
+        assert cfg.beta_a == 0.3 and cfg.beta_b == 0.3
+        assert cfg.learning_rate == pytest.approx(2e-4)
+        assert cfg.batch_size == 64
+
+    def test_derived_dims(self):
+        cfg = MGBRConfig(d=8)
+        assert cfg.view_dim == 16    # 2d
+        assert cfg.triple_dim == 48  # 6d
+
+    def test_default_mlp_hidden(self):
+        cfg = MGBRConfig(d=32)
+        assert cfg.mlp_hidden == (32, 16)
+
+    def test_explicit_mlp_hidden_kept(self):
+        cfg = MGBRConfig(d=32, mlp_hidden=(7,))
+        assert cfg.mlp_hidden == (7,)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("d", 0),
+            ("gcn_layers", 0),
+            ("n_experts", 0),
+            ("mtl_layers", 0),
+            ("aux_negatives", 0),
+            ("alpha_a", 1.5),
+            ("alpha_b", -0.1),
+            ("beta", -1.0),
+            ("beta_a", -0.5),
+            ("aux_a_mode", "bogus"),
+        ],
+    )
+    def test_invalid_values(self, field, value):
+        with pytest.raises(ValueError):
+            MGBRConfig(**{field: value})
+
+    def test_replace_returns_new_config(self):
+        base = MGBRConfig.small()
+        other = base.replace(beta_a=0.5)
+        assert other.beta_a == 0.5
+        assert base.beta_a != 0.5 or base is not other
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            MGBRConfig.small().replace(d=-3)
+
+
+class TestProfiles:
+    def test_small_is_small(self):
+        small = MGBRConfig.small()
+        assert small.d < MGBRConfig.paper().d
+        assert small.aux_negatives < 99
+
+    def test_small_accepts_overrides(self):
+        cfg = MGBRConfig.small(d=12, beta=2.0)
+        assert cfg.d == 12 and cfg.beta == 2.0
+
+
+class TestVariantConfigs:
+    def test_all_variant_names(self):
+        assert set(VARIANTS) == {
+            "MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G", "MGBR-D",
+        }
+
+    def test_m_removes_shared(self):
+        assert not variant_config("MGBR-M").use_shared_experts
+        assert variant_config("MGBR-M").use_aux_losses
+
+    def test_r_removes_aux(self):
+        assert not variant_config("MGBR-R").use_aux_losses
+        assert variant_config("MGBR-R").use_shared_experts
+
+    def test_m_r_removes_both(self):
+        cfg = variant_config("MGBR-M-R")
+        assert not cfg.use_shared_experts and not cfg.use_aux_losses
+
+    def test_g_removes_adjusted_gates(self):
+        assert not variant_config("MGBR-G").use_adjusted_gates
+
+    def test_d_uses_hin(self):
+        assert variant_config("MGBR-D").use_hin_views
+
+    def test_full_model_has_everything(self):
+        cfg = variant_config("MGBR")
+        assert cfg.use_shared_experts and cfg.use_aux_losses
+        assert cfg.use_adjusted_gates and not cfg.use_hin_views
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            variant_config("MGBR-X")
+
+    def test_base_config_carries_over(self):
+        base = MGBRConfig.small(d=12)
+        assert variant_config("MGBR-M", base).d == 12

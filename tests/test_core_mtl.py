@@ -1,0 +1,189 @@
+"""Tests for the multi-task module internals: experts, gates, stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import MGBRConfig
+from repro.core.experts import ExpertBank
+from repro.core.gates import AdjustedGate, GateAttention, SharedGate, TaskGate
+from repro.core.mtl import MTLLayer, MultiTaskModule
+from repro.nn import tensor
+
+
+def _t(rng, *shape):
+    return tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestExpertBank:
+    def test_output_shape(self, rng):
+        bank = ExpertBank(in_dim=6, out_dim=4, n_experts=3, seed=0)
+        out = bank(_t(rng, 5, 6))
+        assert out.shape == (5, 3, 4)
+
+    def test_each_expert_is_distinct(self, rng):
+        bank = ExpertBank(4, 4, 2, seed=0)
+        out = bank(_t(rng, 3, 4)).data
+        assert not np.allclose(out[:, 0, :], out[:, 1, :])
+
+    def test_wrong_input_width(self, rng):
+        bank = ExpertBank(4, 4, 2, seed=0)
+        with pytest.raises(ValueError):
+            bank(_t(rng, 3, 5))
+
+    def test_needs_experts(self):
+        with pytest.raises(ValueError):
+            ExpertBank(4, 4, 0)
+
+    def test_gradients_reach_all_experts(self, rng):
+        bank = ExpertBank(4, 3, 3, seed=0)
+        bank(_t(rng, 2, 4)).sum().backward()
+        assert all(p.grad is not None for p in bank.parameters())
+
+
+class TestGateAttention:
+    def test_output_is_convex_combination(self, rng):
+        # With softmax weights the output lies inside the experts' span:
+        # for identical experts the output equals them exactly.
+        att = GateAttention(query_dim=4, n_slots=3, softmax=True, seed=0)
+        row = rng.normal(size=(1, 1, 5))
+        bank = tensor(np.repeat(row, 3, axis=1))
+        out = att(_t(rng, 1, 4), bank)
+        np.testing.assert_allclose(out.data, row[:, 0, :], atol=1e-12)
+
+    def test_shapes(self, rng):
+        att = GateAttention(6, 4, seed=0)
+        out = att(_t(rng, 7, 6), _t(rng, 7, 4, 5))
+        assert out.shape == (7, 5)
+
+    def test_slot_mismatch(self, rng):
+        att = GateAttention(6, 4, seed=0)
+        with pytest.raises(ValueError):
+            att(_t(rng, 2, 6), _t(rng, 2, 3, 5))
+
+    def test_no_softmax_mode(self, rng):
+        att = GateAttention(6, 2, softmax=False, seed=0)
+        out = att(_t(rng, 3, 6), _t(rng, 3, 2, 4))
+        assert out.shape == (3, 4)
+
+
+class TestAdjustedGate:
+    def test_shapes_and_grads(self, rng):
+        d = 4  # view_dim 8 => pair dim 16
+        gate = AdjustedGate(pair_dim=16, n_experts=3, seed=0)
+        e_u, e_i, e_p = _t(rng, 5, 8), _t(rng, 5, 8), _t(rng, 5, 8)
+        banks = [_t(rng, 5, 3, d) for _ in range(3)]
+        out = gate(e_u, e_i, e_p, *banks)
+        assert out.shape == (5, d)
+        out.sum().backward()
+        assert all(p.grad is not None for p in gate.parameters())
+
+    def test_depends_on_all_pairs(self, rng):
+        gate = AdjustedGate(pair_dim=8, n_experts=2, seed=0)
+        e_u, e_i, e_p = (_t(rng, 2, 4) for _ in range(3))
+        banks = [_t(rng, 2, 2, 3) for _ in range(3)]
+        base = gate(e_u, e_i, e_p, *banks).data.copy()
+        e_p2 = tensor(e_p.data + 1.0)
+        changed = gate(e_u, e_i, e_p2, *banks).data
+        assert not np.allclose(base, changed)
+
+
+class TestTaskGate:
+    def test_alpha_zero_skips_adjusted(self, rng):
+        gate = TaskGate(
+            state_dim=6, pair_dim=8, n_experts=2, own_is_ui=True, alpha=0.0, seed=0
+        )
+        assert gate.adjusted is None
+
+    def test_alpha_positive_builds_adjusted(self):
+        gate = TaskGate(6, 8, 2, own_is_ui=True, alpha=0.1, seed=0)
+        assert gate.adjusted is not None
+
+    def test_shared_false_needs_no_shared_bank(self, rng):
+        gate = TaskGate(4, 8, 2, own_is_ui=False, alpha=0.1, shared=False, seed=0)
+        out = gate(
+            _t(rng, 3, 4), _t(rng, 3, 2, 5), None,
+            _t(rng, 3, 4), _t(rng, 3, 4), _t(rng, 3, 4),
+        )
+        assert out.shape == (3, 5)
+
+    def test_shared_true_requires_shared_bank(self, rng):
+        gate = TaskGate(8, 8, 2, own_is_ui=True, alpha=0.0, shared=True, seed=0)
+        with pytest.raises(ValueError):
+            gate(_t(rng, 3, 8), _t(rng, 3, 2, 5), None,
+                 _t(rng, 3, 4), _t(rng, 3, 4), _t(rng, 3, 4))
+
+
+class TestSharedGate:
+    def test_attends_over_three_banks(self, rng):
+        gate = SharedGate(state_dim=9, n_experts=2, seed=0)
+        out = gate(
+            _t(rng, 4, 9), _t(rng, 4, 2, 5), _t(rng, 4, 2, 5), _t(rng, 4, 2, 5)
+        )
+        assert out.shape == (4, 5)
+
+
+class TestMTLLayerShapes:
+    def _config(self, **kw):
+        return MGBRConfig.small(d=4, n_experts=2, mtl_layers=2, **kw)
+
+    def test_full_stack_output(self, rng):
+        config = self._config()
+        module = MultiTaskModule(config, seed=0)
+        vd = config.view_dim
+        e_u, e_i, e_p = (_t(rng, 6, vd) for _ in range(3))
+        g_a, g_b = module(e_u, e_i, e_p)
+        assert g_a.shape == (6, config.d)
+        assert g_b.shape == (6, config.d)
+
+    def test_no_shared_stack(self, rng):
+        config = self._config(use_shared_experts=False)
+        module = MultiTaskModule(config, seed=0)
+        vd = config.view_dim
+        g_a, g_b = module(_t(rng, 3, vd), _t(rng, 3, vd), _t(rng, 3, vd))
+        assert g_a.shape == (3, config.d)
+        # No layer owns shared experts.
+        assert all(layer.experts_s is None for layer in module._layers)
+
+    def test_first_layer_compact_dims(self):
+        config = self._config(first_layer_compact=True)
+        module = MultiTaskModule(config, seed=0)
+        first, second = module._layers
+        assert first.in_task == config.triple_dim          # 6d (compact)
+        assert second.in_task == 2 * config.d              # general at l>=2
+
+    def test_first_layer_general_dims(self):
+        config = self._config(first_layer_compact=False)
+        module = MultiTaskModule(config, seed=0)
+        first = module._layers[0]
+        assert first.in_task == 2 * config.triple_dim      # g0_A || g0_S
+        assert first.in_shared == 3 * config.triple_dim    # g0_A || g0_S || g0_B
+
+    def test_gradients_flow_to_inputs(self, rng):
+        config = self._config()
+        module = MultiTaskModule(config, seed=0)
+        vd = config.view_dim
+        e_u, e_i, e_p = (_t(rng, 2, vd) for _ in range(3))
+        g_a, g_b = module(e_u, e_i, e_p)
+        (g_a.sum() + g_b.sum()).backward()
+        for t in (e_u, e_i, e_p):
+            assert t.grad is not None and np.abs(t.grad).sum() > 0
+
+    def test_single_layer_stack(self, rng):
+        config = MGBRConfig.small(d=4, n_experts=2, mtl_layers=1)
+        module = MultiTaskModule(config, seed=0)
+        vd = config.view_dim
+        g_a, g_b = module(_t(rng, 2, vd), _t(rng, 2, vd), _t(rng, 2, vd))
+        assert g_a.shape == (2, 4)
+
+    def test_task_outputs_differ(self, rng):
+        # Gate A and gate B have independent parameters; outputs diverge.
+        config = self._config()
+        module = MultiTaskModule(config, seed=0)
+        vd = config.view_dim
+        g_a, g_b = module(_t(rng, 4, vd), _t(rng, 4, vd), _t(rng, 4, vd))
+        assert not np.allclose(g_a.data, g_b.data)
+
+    def test_adjusted_gates_disabled_have_no_extra_params(self):
+        on = MultiTaskModule(self._config(), seed=0)
+        off = MultiTaskModule(self._config(use_adjusted_gates=False), seed=0)
+        assert off.num_parameters() < on.num_parameters()

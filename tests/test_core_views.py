@@ -1,0 +1,77 @@
+"""Tests for the MGBR encoders: MultiViewEmbedding and HINEmbedding."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import EmbeddingBundle
+from repro.core.views import HINEmbedding, MultiViewEmbedding
+from repro.graph import build_views
+
+
+class TestMultiViewEmbedding:
+    def test_from_groups_builds_views(self, handmade_groups):
+        encoder = MultiViewEmbedding.from_groups(
+            handmade_groups, n_users=4, n_items=3, dim=6, n_layers=2, seed=0
+        )
+        bundle = encoder()
+        assert isinstance(bundle, EmbeddingBundle)
+        assert bundle.user.shape == (4, 12)       # 2d
+        assert bundle.item.shape == (3, 12)
+        assert bundle.participant.shape == (4, 12)
+
+    def test_three_gcns_have_independent_parameters(self, handmade_groups):
+        encoder = MultiViewEmbedding.from_groups(
+            handmade_groups, 4, 3, dim=4, seed=0
+        )
+        w_ui = encoder.gcn_ui.features.weight.data
+        w_pi = encoder.gcn_pi.features.weight.data
+        assert w_ui.shape == w_pi.shape
+        assert not np.allclose(w_ui, w_pi)
+
+    def test_gradients_flow_into_all_views(self, handmade_groups):
+        encoder = MultiViewEmbedding.from_groups(handmade_groups, 4, 3, dim=4, seed=0)
+        bundle = encoder()
+        (bundle.user.sum() + bundle.item.sum() + bundle.participant.sum()).backward()
+        for gcn in (encoder.gcn_ui, encoder.gcn_pi, encoder.gcn_up):
+            assert gcn.features.weight.grad is not None
+
+    def test_eq4_to_6_concatenation_layout(self, handmade_groups):
+        # e_u = UI || UP and e_p = PI || UP: the social halves coincide.
+        views = build_views(handmade_groups, 4, 3)
+        encoder = MultiViewEmbedding(views, dim=5, seed=0)
+        bundle = encoder()
+        np.testing.assert_allclose(
+            bundle.user.data[:, 5:], bundle.participant.data[:, 5:]
+        )
+        assert not np.allclose(bundle.user.data[:, :5], bundle.participant.data[:, :5])
+
+    def test_gain_parameter_spreads_embeddings(self, handmade_groups):
+        small = MultiViewEmbedding.from_groups(handmade_groups, 4, 3, dim=6, seed=0, gain=1.0)
+        large = MultiViewEmbedding.from_groups(handmade_groups, 4, 3, dim=6, seed=0, gain=6.0)
+        spread = lambda e: float(e().user.data.std(axis=0).mean())
+        assert spread(large) > spread(small)
+
+
+class TestHINEmbedding:
+    def test_roles_share_node_embedding(self, handmade_groups):
+        encoder = HINEmbedding(handmade_groups, 4, 3, dim=6, seed=0)
+        bundle = encoder()
+        np.testing.assert_array_equal(bundle.user.data, bundle.participant.data)
+        assert bundle.user.shape == (4, 12)   # 2d to match downstream dims
+        assert bundle.item.shape == (3, 12)
+
+    def test_single_gcn_structure(self, handmade_groups):
+        # One GCN (at width 2d) instead of three (at width d): fewer
+        # feature tables even though the layer weights are 4x wider.
+        hin = HINEmbedding(handmade_groups, 4, 3, dim=6, seed=0)
+        views = MultiViewEmbedding.from_groups(handmade_groups, 4, 3, dim=6, seed=0)
+        hin_tables = [n for n, _ in hin.named_parameters() if "features" in n]
+        view_tables = [n for n, _ in views.named_parameters() if "features" in n]
+        assert len(hin_tables) == 1
+        assert len(view_tables) == 3
+
+    def test_gradients_flow(self, handmade_groups):
+        encoder = HINEmbedding(handmade_groups, 4, 3, dim=4, seed=0)
+        bundle = encoder()
+        bundle.item.sum().backward()
+        assert encoder.gcn.features.weight.grad is not None

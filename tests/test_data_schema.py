@@ -1,0 +1,117 @@
+"""Unit tests for the data schema: DealGroup and GroupBuyingDataset."""
+
+import pytest
+
+from repro.data import DealGroup, GroupBuyingDataset
+
+
+class TestDealGroup:
+    def test_basic_fields(self):
+        g = DealGroup(initiator=1, item=2, participants=(3, 4))
+        assert g.size == 2
+        assert g.members() == (1, 3, 4)
+
+    def test_initiator_cannot_participate(self):
+        with pytest.raises(ValueError):
+            DealGroup(initiator=1, item=0, participants=(1,))
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(ValueError):
+            DealGroup(initiator=0, item=0, participants=(2, 2))
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DealGroup(initiator=-1, item=0, participants=())
+        with pytest.raises(ValueError):
+            DealGroup(initiator=0, item=-2, participants=())
+        with pytest.raises(ValueError):
+            DealGroup(initiator=0, item=0, participants=(-3,))
+
+    def test_empty_group_allowed(self):
+        # A freshly-launched group with no participants yet.
+        g = DealGroup(initiator=0, item=1, participants=())
+        assert g.size == 0
+
+    def test_frozen(self):
+        g = DealGroup(initiator=0, item=1, participants=(2,))
+        with pytest.raises(AttributeError):
+            g.item = 5
+
+    def test_equality(self):
+        a = DealGroup(0, 1, (2,))
+        b = DealGroup(0, 1, (2,))
+        assert a == b
+
+
+class TestGroupBuyingDataset:
+    def _dataset(self):
+        return GroupBuyingDataset(
+            n_users=5,
+            n_items=3,
+            train=[
+                DealGroup(0, 0, (1, 2)),
+                DealGroup(3, 1, (4,)),
+                DealGroup(0, 1, (2,)),
+            ],
+            validation=[DealGroup(3, 2, (0,))],
+            test=[DealGroup(1, 0, (3,))],
+        )
+
+    def test_counts(self):
+        ds = self._dataset()
+        assert ds.n_groups == 5
+        assert len(ds.all_groups) == 5
+
+    def test_unknown_user_rejected(self):
+        with pytest.raises(ValueError):
+            GroupBuyingDataset(
+                n_users=2, n_items=2, train=[DealGroup(5, 0, ())]
+            )
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(ValueError):
+            GroupBuyingDataset(
+                n_users=3, n_items=1, train=[DealGroup(0, 2, ())]
+            )
+
+    def test_unknown_participant_rejected(self):
+        with pytest.raises(ValueError):
+            GroupBuyingDataset(
+                n_users=2, n_items=2, train=[DealGroup(0, 0, (7,))]
+            )
+
+    def test_user_items_train_only(self):
+        ds = self._dataset()
+        ui = ds.user_items(("train",))
+        assert ui[0] == {0, 1}
+        assert ui[1] == {0}   # participant role counts as interaction
+        assert 2 not in ui.get(3, set()) and ui[3] == {1}
+
+    def test_user_items_includes_other_splits_when_asked(self):
+        ds = self._dataset()
+        ui = ds.user_items(("train", "validation", "test"))
+        assert 2 in ui[3]  # from the validation group
+
+    def test_group_members_union(self):
+        ds = self._dataset()
+        gm = ds.group_members(("train",))
+        assert gm[(0, 0)] == {1, 2}
+        assert gm[(0, 1)] == {2}
+
+    def test_interaction_counts(self):
+        ds = self._dataset()
+        counts = ds.user_interaction_counts(("train",))
+        assert counts[0] == 2  # two launches
+        assert counts[2] == 2  # two joins
+
+    def test_bad_split_name(self):
+        ds = self._dataset()
+        with pytest.raises(KeyError):
+            ds.user_items(("bogus",))
+
+    def test_summary_keys(self):
+        summary = self._dataset().summary()
+        assert summary["user"] == 5
+        assert summary["item"] == 3
+        assert summary["deal group"] == 5
+        assert summary["max group size"] == 2

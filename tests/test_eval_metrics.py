@@ -1,0 +1,103 @@
+"""Unit tests for ranking metrics and the accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.eval import RankingAccumulator, hit, ndcg, rank_of_positive, reciprocal_rank
+
+
+class TestRankOfPositive:
+    def test_best_rank(self):
+        assert rank_of_positive([5.0, 1.0, 2.0], 0) == 1
+
+    def test_worst_rank(self):
+        assert rank_of_positive([0.1, 1.0, 2.0], 0) == 3
+
+    def test_middle(self):
+        assert rank_of_positive([1.5, 1.0, 2.0], 0) == 2
+
+    def test_positive_not_first_index(self):
+        assert rank_of_positive([3.0, 9.0, 1.0], 1) == 1
+
+    def test_ties_count_against_positive(self):
+        # Pessimistic convention: constant scores give the worst rank.
+        assert rank_of_positive([1.0, 1.0, 1.0], 0) == 3
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(IndexError):
+            rank_of_positive([1.0], 3)
+
+
+class TestMetricFunctions:
+    def test_reciprocal_rank_values(self):
+        assert reciprocal_rank(1, 10) == 1.0
+        assert reciprocal_rank(4, 10) == 0.25
+        assert reciprocal_rank(11, 10) == 0.0
+
+    def test_ndcg_values(self):
+        assert ndcg(1, 10) == 1.0
+        assert ndcg(3, 10) == pytest.approx(0.5)
+        assert ndcg(11, 10) == 0.0
+
+    def test_ndcg_gentler_than_mrr(self):
+        # NDCG decays logarithmically, MRR hyperbolically.
+        for rank in range(2, 10):
+            assert ndcg(rank, 10) > reciprocal_rank(rank, 10)
+
+    def test_hit_indicator(self):
+        assert hit(10, 10) == 1.0
+        assert hit(11, 10) == 0.0
+
+    @pytest.mark.parametrize("fn", [reciprocal_rank, ndcg, hit])
+    def test_rank_must_be_positive(self, fn):
+        with pytest.raises(ValueError):
+            fn(0, 10)
+
+    @pytest.mark.parametrize("fn", [reciprocal_rank, ndcg, hit])
+    def test_cutoff_must_be_positive(self, fn):
+        with pytest.raises(ValueError):
+            fn(1, 0)
+
+
+class TestAccumulator:
+    def test_means(self):
+        acc = RankingAccumulator(cutoff=10)
+        acc.extend([1, 2, 11])
+        result = acc.result()
+        assert result["MRR@10"] == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+        assert result["HR@10"] == pytest.approx(2 / 3)
+
+    def test_perfect_model(self):
+        acc = RankingAccumulator(cutoff=10)
+        acc.extend([1] * 5)
+        result = acc.result()
+        assert result["MRR@10"] == 1.0
+        assert result["NDCG@10"] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RankingAccumulator(cutoff=10).result()
+
+    def test_invalid_rank(self):
+        acc = RankingAccumulator(cutoff=10)
+        with pytest.raises(ValueError):
+            acc.add(0)
+
+    def test_len(self):
+        acc = RankingAccumulator(cutoff=5)
+        acc.extend([1, 2])
+        assert len(acc) == 2
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError):
+            RankingAccumulator(cutoff=0)
+
+    def test_random_scores_mrr_near_expectation(self, rng):
+        # With a 10-candidate list and random scores the expected MRR@10
+        # is H(10)/10 ≈ 0.293.
+        acc = RankingAccumulator(cutoff=10)
+        for _ in range(3000):
+            scores = rng.normal(size=10)
+            acc.add(rank_of_positive(scores, 0))
+        expected = sum(1.0 / r for r in range(1, 11)) / 10
+        assert acc.result()["MRR@10"] == pytest.approx(expected, abs=0.02)

@@ -1,0 +1,189 @@
+"""Tests for the candidate-list evaluation protocol and the case study."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender
+from repro.data import NegativeSampler, extract_task_b
+from repro.eval import EvalProtocol, evaluate_model, pca_project, run_case_study
+from repro.eval.casestudy import _dispersion_ratio
+from repro.nn import Embedding
+
+
+class _OracleModel(GroupBuyingRecommender):
+    """Scores candidates by ground-truth membership — must hit MRR=1."""
+
+    def __init__(self, dataset):
+        super().__init__(dataset.n_users, dataset.n_items)
+        self._user_items = dataset.user_items(("train", "validation", "test"))
+        self._members = dataset.group_members(("train", "validation", "test"))
+        self.table = Embedding(2, 2, seed=0)  # parameters so Module is valid
+
+    def compute_embeddings(self):
+        t = self.table.all()
+        return EmbeddingBundle(user=t, item=t, participant=t)
+
+    def score_items(self, users, items):
+        from repro.nn import tensor
+
+        scores = [
+            1.0 if int(i) in self._user_items.get(int(u), set()) else 0.0
+            for u, i in zip(users, items)
+        ]
+        return tensor(np.asarray(scores))
+
+    def score_participants(self, users, items, participants):
+        from repro.nn import tensor
+
+        scores = [
+            1.0 if int(p) in self._members.get((int(u), int(i)), set()) else 0.0
+            for u, i, p in zip(users, items, participants)
+        ]
+        return tensor(np.asarray(scores))
+
+
+class _RandomModel(GroupBuyingRecommender):
+    """Seeded random scores — MRR must sit near the theoretical mean."""
+
+    def __init__(self, dataset, seed=0):
+        super().__init__(dataset.n_users, dataset.n_items)
+        self.rng = np.random.default_rng(seed)
+        self.table = Embedding(2, 2, seed=0)
+
+    def compute_embeddings(self):
+        t = self.table.all()
+        return EmbeddingBundle(user=t, item=t, participant=t)
+
+    def score_items(self, users, items):
+        from repro.nn import tensor
+
+        return tensor(self.rng.normal(size=len(users)))
+
+    def score_participants(self, users, items, participants):
+        from repro.nn import tensor
+
+        return tensor(self.rng.normal(size=len(users)))
+
+
+class TestProtocol:
+    def test_oracle_scores_perfectly(self, tiny_dataset):
+        result = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10).run(
+            _OracleModel(tiny_dataset)
+        )
+        assert result.task_a["MRR@10"] == 1.0
+        assert result.task_b["MRR@10"] == 1.0
+        assert result.task_a["NDCG@10"] == 1.0
+
+    def test_random_model_near_chance(self, tiny_dataset):
+        result = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10).run(
+            _RandomModel(tiny_dataset)
+        )
+        expected = sum(1.0 / r for r in range(1, 11)) / 10  # ≈ 0.293
+        assert result.task_a["MRR@10"] == pytest.approx(expected, abs=0.08)
+        assert result.task_b["MRR@10"] == pytest.approx(expected, abs=0.08)
+
+    def test_candidate_lists_deterministic_across_models(self, tiny_dataset):
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, seed=77)
+        lists_a, lists_b = protocol._candidate_lists()
+        again_a, again_b = protocol._candidate_lists()
+        np.testing.assert_array_equal(lists_a["candidates"], again_a["candidates"])
+        np.testing.assert_array_equal(lists_b["candidates"], again_b["candidates"])
+
+    def test_positive_is_column_zero_and_excluded_from_negatives(self, tiny_dataset):
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, split="test")
+        lists_a, lists_b = protocol._candidate_lists()
+        for row in lists_a["candidates"]:
+            assert row[0] not in row[1:]
+        for row in lists_b["candidates"]:
+            assert row[0] not in row[1:]
+
+    def test_max_instances_caps_work(self, tiny_dataset):
+        protocol = EvalProtocol(tiny_dataset, max_instances=3)
+        lists_a, lists_b = protocol._candidate_lists()
+        assert len(lists_a["users"]) == 3
+        assert len(lists_b["users"]) == 3
+
+    def test_1_99_protocol_shape(self, tiny_dataset):
+        protocol = EvalProtocol(tiny_dataset, n_negatives=99, cutoff=100, max_instances=2)
+        lists_a, _ = protocol._candidate_lists()
+        assert lists_a["candidates"].shape[1] == 100
+
+    def test_empty_split_rejected(self, tiny_dataset):
+        import dataclasses
+
+        empty = dataclasses.replace(tiny_dataset)  # GroupBuyingDataset is not frozen
+        empty = type(tiny_dataset)(
+            n_users=tiny_dataset.n_users,
+            n_items=tiny_dataset.n_items,
+            train=tiny_dataset.train,
+            validation=[],
+            test=[],
+        )
+        with pytest.raises(ValueError):
+            EvalProtocol(empty, split="test").run(_RandomModel(empty))
+
+    def test_evaluate_model_returns_both_cutoffs(self, tiny_dataset):
+        results = evaluate_model(
+            _RandomModel(tiny_dataset),
+            tiny_dataset,
+            protocols=((9, 10), (19, 20)),
+            max_instances=5,
+        )
+        assert set(results) == {"@10", "@20"}
+        flat = results["@10"].flat()
+        assert "A/MRR@10" in flat and "B/NDCG@10" in flat
+
+    def test_model_left_in_training_mode(self, tiny_dataset):
+        model = _RandomModel(tiny_dataset)
+        model.train()
+        EvalProtocol(tiny_dataset, max_instances=2).run(model)
+        assert model.training
+
+
+class TestPCA:
+    def test_projection_shape_and_variance(self, rng):
+        x = rng.normal(size=(30, 8))
+        points, ratio = pca_project(x, 2)
+        assert points.shape == (30, 2)
+        assert 0 < ratio.sum() <= 1.0 + 1e-9
+
+    def test_first_component_captures_dominant_direction(self, rng):
+        base = rng.normal(size=(100, 1)) * np.array([[10.0]])
+        noise = rng.normal(size=(100, 4)) * 0.1
+        x = np.concatenate([base, noise], axis=1)
+        _, ratio = pca_project(x, 2)
+        assert ratio[0] > 0.9
+
+    def test_invalid_components(self, rng):
+        with pytest.raises(ValueError):
+            pca_project(rng.normal(size=(5, 3)), 4)
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pca_project(rng.normal(size=5), 1)
+
+
+class TestDispersionRatio:
+    def test_tight_clusters_score_lower(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+        labels = np.repeat(np.arange(3), 20)
+        tight = centers[labels] + rng.normal(size=(60, 2)) * 0.1
+        loose = centers[labels] + rng.normal(size=(60, 2)) * 3.0
+        assert _dispersion_ratio(tight, labels) < _dispersion_ratio(loose, labels)
+
+    def test_needs_two_groups(self, rng):
+        with pytest.raises(ValueError):
+            _dispersion_ratio(rng.normal(size=(5, 2)), np.zeros(5))
+
+
+class TestCaseStudy:
+    def test_runs_on_model(self, tiny_dataset, tiny_mgbr):
+        study = run_case_study(tiny_mgbr, tiny_dataset.train, n_groups=4, seed=0)
+        assert study.points.shape[1] == 2
+        assert study.dispersion_ratio > 0
+        assert len(study.roles) == study.points.shape[0]
+        assert {"initiator", "item", "participant"} == set(study.roles)
+
+    def test_too_few_groups_rejected(self, tiny_dataset, tiny_mgbr):
+        with pytest.raises(ValueError):
+            run_case_study(tiny_mgbr, tiny_dataset.train[:1], n_groups=5)

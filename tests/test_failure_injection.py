@@ -1,0 +1,110 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not drift.
+
+A recommender pipeline has many silent-corruption hazards (NaNs from a
+degenerate graph, stale caches after parameter surgery, truncated
+checkpoints).  These tests pin the failure behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBMF
+from repro.core import MGBR, MGBRConfig
+from repro.data import DealGroup, GroupBuyingDataset
+from repro.graph import normalized_adjacency, edges_to_adjacency
+from repro.nn import Adam, tensor
+from repro.training import Trainer, TrainConfig, load_checkpoint, restore_model, save_checkpoint
+
+
+class TestNaNPropagation:
+    def test_normalization_never_produces_nan(self):
+        # Isolated nodes / zero degrees must not create NaN rows.
+        adj = edges_to_adjacency([], 5)  # fully disconnected
+        norm = normalized_adjacency(adj, add_self_loops=False)
+        assert np.all(np.isfinite(norm.toarray()))
+
+    def test_training_detects_injected_nan(self, tiny_dataset, small_config):
+        model = MGBR(tiny_dataset.train, tiny_dataset.n_users,
+                     tiny_dataset.n_items, config=small_config)
+        # Poison one GCN weight.
+        model.encoder.gcn_ui.features.weight.data[0, 0] = np.nan
+        emb = model.compute_embeddings()
+        assert np.isnan(emb.user.data).any()  # NaN visibly propagates
+
+
+class TestCheckpointCorruption:
+    def test_truncated_file_raises(self, tmp_path, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=4, seed=0)
+        path = save_checkpoint(model, tmp_path / "ok")
+        data = path.read_bytes()
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_checkpoint(bad)
+
+    def test_wrong_shape_state_rejected(self, tmp_path, tiny_dataset):
+        small = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=4, seed=0)
+        path = save_checkpoint(small, tmp_path / "small")
+        big = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        with pytest.raises(ValueError):
+            restore_model(big, path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nowhere.npz")
+
+
+class TestStaleCaches:
+    def test_table_backed_cache_sees_inplace_updates(self, tiny_dataset):
+        # MF caches hold *live references* to the embedding tables, so
+        # optimizer-style in-place updates flow through without refresh —
+        # unlike GCN models whose caches hold computed outputs (covered in
+        # test_core_model::test_public_scoring_uses_cache).
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=4, seed=0)
+        model.refresh_cache()
+        users, items = np.array([0]), np.array([0])
+        before = float(model.score_items(users, items).data[0])
+        model.initiator_table.weight.data += 10.0
+        after = float(model.score_items(users, items).data[0])
+        assert after != before
+
+    def test_trainer_invalidates_cache_each_step(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=4, seed=0)
+        model.refresh_cache()
+        trainer = Trainer(
+            model, tiny_dataset,
+            TrainConfig(epochs=1, batch_size=64, train_negatives=2, seed=0),
+        )
+        trainer.train_epoch()
+        assert model._cached is None  # last step left no stale cache
+
+
+class TestDegenerateDatasets:
+    def test_single_item_dataset_trains(self):
+        # Degenerate but legal: every group buys the same item.
+        groups = [DealGroup(u, 0, ((u + 1) % 6,)) for u in range(6)] * 2
+        ds = GroupBuyingDataset(n_users=6, n_items=1, train=groups)
+        model = GBMF(6, 1, dim=4, seed=0)
+        # Task A negative sampling is impossible (no second item):
+        with pytest.raises(ValueError):
+            Trainer(
+                model, ds, TrainConfig(epochs=1, batch_size=4, train_negatives=1, seed=0)
+            ).train_epoch()
+
+    def test_group_with_no_participants_is_fine_for_task_a(self):
+        groups = [DealGroup(u, u % 3, ()) for u in range(6)] * 2
+        ds = GroupBuyingDataset(n_users=6, n_items=3, train=groups)
+        from repro.data import extract_task_a, extract_task_b
+
+        assert len(extract_task_a(ds.train)) == 12
+        assert len(extract_task_b(ds.train)) == 0  # trainer would reject
+
+    def test_optimizer_survives_zero_gradient_step(self):
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.ones(3))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * tensor(np.zeros(3))).sum().backward()
+        opt.step()  # gradient exactly zero: update must stay finite
+        assert np.all(np.isfinite(p.data))

@@ -1,0 +1,131 @@
+"""Integration tests: full train→evaluate→persist loops across modules.
+
+These are the tests that would catch wiring regressions between the
+substrates (data → graph → model → trainer → eval).  They run tiny
+configurations, so "learns something" assertions compare against the
+random-ranking baseline with generous margins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBMF, NGCF
+from repro.core import MGBR, MGBRConfig, build_variant
+from repro.data import SyntheticConfig, generate_dataset
+from repro.eval import EvalProtocol, evaluate_model, run_case_study
+from repro.training import TrainConfig, Trainer, restore_model, save_checkpoint
+
+RANDOM_MRR10 = sum(1.0 / r for r in range(1, 11)) / 10  # ≈ 0.2929
+
+
+@pytest.fixture(scope="module")
+def train_dataset():
+    """A dataset with learnable signal (slightly bigger than tiny)."""
+    return generate_dataset(
+        SyntheticConfig(n_users=120, n_items=40, n_groups=500, min_interactions=3),
+        seed=21,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_mgbr(train_dataset):
+    config = MGBRConfig.small(
+        d=12, n_experts=2, mtl_layers=2, aux_negatives=4, train_negatives=5,
+        learning_rate=8e-3, gcn_gain=5.0, seed=1,
+    )
+    model = MGBR(train_dataset.train, train_dataset.n_users, train_dataset.n_items,
+                 config=config)
+    trainer = Trainer(model, train_dataset, TrainConfig.from_mgbr(config, epochs=8))
+    trainer.fit()
+    return model, trainer
+
+
+class TestMGBRLearns:
+    def test_task_a_beats_random(self, train_dataset, trained_mgbr):
+        model, _ = trained_mgbr
+        result = EvalProtocol(train_dataset, max_instances=80).run(model)
+        assert result.task_a["MRR@10"] > RANDOM_MRR10 + 0.15
+
+    def test_task_b_beats_random(self, train_dataset, trained_mgbr):
+        model, _ = trained_mgbr
+        result = EvalProtocol(train_dataset, max_instances=80).run(model)
+        assert result.task_b["MRR@10"] > RANDOM_MRR10 + 0.05
+
+    def test_losses_fell(self, trained_mgbr):
+        _, trainer = trained_mgbr
+        curve = trainer.history.loss_curve("total")
+        assert curve[-1] < curve[0]
+
+    def test_both_cutoff_protocols(self, train_dataset, trained_mgbr):
+        model, _ = trained_mgbr
+        results = evaluate_model(
+            model, train_dataset, protocols=((9, 10), (99, 100)), max_instances=30
+        )
+        # @100 metrics are necessarily <= @10 metrics for the same model
+        # (100-way lists are strictly harder).
+        assert results["@100"].task_a["MRR@100"] <= results["@10"].task_a["MRR@10"] + 1e-9
+
+
+class TestBaselineLearns:
+    def test_gbmf_task_a_beats_random(self, train_dataset):
+        model = GBMF(train_dataset.n_users, train_dataset.n_items, dim=12, seed=0)
+        trainer = Trainer(
+            model, train_dataset,
+            TrainConfig(epochs=8, batch_size=32, learning_rate=1e-2,
+                        train_negatives=5, seed=0),
+        )
+        trainer.fit()
+        result = EvalProtocol(train_dataset, max_instances=80).run(model)
+        assert result.task_a["MRR@10"] > RANDOM_MRR10 + 0.15
+
+
+class TestCheckpointIntegration:
+    def test_save_restore_preserves_metrics(self, tmp_path, train_dataset, trained_mgbr):
+        model, _ = trained_mgbr
+        protocol = EvalProtocol(train_dataset, max_instances=30)
+        before = protocol.run(model).task_a["MRR@10"]
+        path = save_checkpoint(model, tmp_path / "mgbr")
+
+        clone = MGBR(train_dataset.train, train_dataset.n_users,
+                     train_dataset.n_items, config=model.config, seed=12345)
+        restore_model(clone, path)
+        after = protocol.run(clone).task_a["MRR@10"]
+        assert after == pytest.approx(before)
+
+
+class TestVariantIntegration:
+    def test_variants_trainable_one_epoch(self, train_dataset):
+        base = MGBRConfig.small(
+            d=8, n_experts=2, mtl_layers=1, aux_negatives=3, train_negatives=3, seed=0
+        )
+        for name in ("MGBR-M", "MGBR-G", "MGBR-D"):
+            model = build_variant(name, train_dataset.train, train_dataset.n_users,
+                                  train_dataset.n_items, base=base)
+            trainer = Trainer(model, train_dataset,
+                              TrainConfig.from_mgbr(base, epochs=1))
+            record = trainer.train_epoch()
+            assert np.isfinite(record.losses["total"]), name
+
+
+class TestCaseStudyIntegration:
+    def test_case_study_on_trained_model(self, train_dataset, trained_mgbr):
+        model, _ = trained_mgbr
+        study = run_case_study(model, train_dataset.train, n_groups=5, seed=3)
+        assert np.isfinite(study.dispersion_ratio)
+        assert study.points.shape[0] == len(study.labels)
+
+
+class TestDeterminism:
+    def test_same_seed_same_training_trajectory(self, train_dataset):
+        def run():
+            config = MGBRConfig.small(
+                d=8, n_experts=2, mtl_layers=1, aux_negatives=3,
+                train_negatives=3, seed=4,
+            )
+            model = MGBR(train_dataset.train, train_dataset.n_users,
+                         train_dataset.n_items, config=config)
+            trainer = Trainer(model, train_dataset,
+                              TrainConfig.from_mgbr(config, epochs=1, seed=4))
+            return trainer.train_epoch().losses["total"]
+
+        assert run() == pytest.approx(run())

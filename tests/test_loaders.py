@@ -1,0 +1,91 @@
+"""Tests for the external-data text loader."""
+
+import pytest
+
+from repro.data import (
+    DealGroup,
+    load_groups_txt,
+    parse_group_line,
+    read_groups_txt,
+    write_groups_txt,
+)
+
+
+class TestParseLine:
+    def test_full_record(self):
+        g = parse_group_line("3\t7\t1,2,5")
+        assert g == DealGroup(3, 7, (1, 2, 5))
+
+    def test_empty_participants_field(self):
+        assert parse_group_line("3\t7\t").participants == ()
+
+    def test_two_field_record(self):
+        assert parse_group_line("3\t7").participants == ()
+
+    def test_malformed_field_count(self):
+        with pytest.raises(ValueError, match="line 4"):
+            parse_group_line("1\t2\t3\t4", lineno=4)
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError, match="line 9"):
+            parse_group_line("a\t2\t3", lineno=9)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, tmp_path):
+        groups = [DealGroup(0, 0, (1, 2)), DealGroup(3, 1, ()), DealGroup(1, 2, (0,))]
+        path = write_groups_txt(groups, tmp_path / "data.txt", header="unit test")
+        loaded = read_groups_txt(path)
+        assert loaded == groups
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("# header\n\n0\t1\t2\n   \n# trailing\n")
+        assert read_groups_txt(path) == [DealGroup(0, 1, (2,))]
+
+
+class TestLoadPipeline:
+    def _write_busy_dataset(self, tmp_path):
+        # Every user appears >= 3 times so min_interactions=3 keeps all.
+        groups = []
+        for item in range(4):
+            for initiator in range(3):
+                participants = tuple(p for p in range(3, 6))
+                groups.append(DealGroup(initiator, item, participants))
+        return write_groups_txt(groups, tmp_path / "busy.txt")
+
+    def test_load_full_pipeline(self, tmp_path):
+        path = self._write_busy_dataset(tmp_path)
+        dataset = load_groups_txt(path, min_interactions=3, seed=0)
+        assert dataset.n_users > 0 and dataset.n_items > 0
+        assert dataset.n_groups == len(dataset.train) + len(dataset.validation) + len(dataset.test)
+        assert dataset.name == "busy"
+
+    def test_min_interactions_respected(self, tmp_path):
+        path = self._write_busy_dataset(tmp_path)
+        dataset = load_groups_txt(path, min_interactions=3, seed=0)
+        counts = dataset.user_interaction_counts()
+        assert min(counts.values()) >= 3
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError, match="no deal groups"):
+            load_groups_txt(path)
+
+    def test_overfiltering_rejected(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("0\t0\t1\n2\t1\t3\n")
+        with pytest.raises(ValueError, match="filtered out"):
+            load_groups_txt(path, min_interactions=5)
+
+    def test_ids_remapped_contiguously(self, tmp_path):
+        groups = []
+        for item in (100, 200):
+            for initiator in (1000, 2000, 3000):
+                groups.append(DealGroup(initiator, item, (4000, 5000)))
+        path = write_groups_txt(groups, tmp_path / "sparse_ids.txt")
+        dataset = load_groups_txt(path, min_interactions=2, seed=0)
+        users = {g.initiator for g in dataset.all_groups}
+        users |= {p for g in dataset.all_groups for p in g.participants}
+        assert users == set(range(dataset.n_users))

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for data-pipeline invariants.
+
+The preprocessing pipeline makes hard promises — the filter reaches a
+true fixed point, remapping is a bijection, splits partition exactly,
+metrics respect their bounds — and these properties must hold for *any*
+group structure, not just the synthetic generator's output.  Hypothesis
+builds adversarial deal-group lists to probe them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DealGroup, extract_task_a, extract_task_b, remap_ids, split_groups
+from repro.data.preprocess import filter_min_interactions
+from repro.eval.metrics import ndcg, rank_of_positive, reciprocal_rank
+
+
+@st.composite
+def deal_groups(draw, max_users=12, max_items=6, max_groups=14):
+    """Random well-formed deal-group lists."""
+    n = draw(st.integers(1, max_groups))
+    groups = []
+    for _ in range(n):
+        initiator = draw(st.integers(0, max_users - 1))
+        item = draw(st.integers(0, max_items - 1))
+        pool = [u for u in range(max_users) if u != initiator]
+        participants = draw(
+            st.lists(st.sampled_from(pool), max_size=4, unique=True)
+        )
+        groups.append(DealGroup(initiator, item, tuple(participants)))
+    return groups
+
+
+@settings(max_examples=40, deadline=None)
+@given(deal_groups(), st.integers(0, 4))
+def test_filter_reaches_true_fixed_point(groups, threshold):
+    data, _ = filter_min_interactions(groups, 12, 6, min_interactions=threshold)
+    counts = {}
+    for g in data.groups:
+        counts[g.initiator] = counts.get(g.initiator, 0) + 1
+        for p in g.participants:
+            counts[p] = counts.get(p, 0) + 1
+    # Every surviving user satisfies the threshold — no second pass needed.
+    assert all(c >= threshold for c in counts.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(deal_groups())
+def test_remap_is_bijective_and_structure_preserving(groups):
+    remapped, user_map, item_map = remap_ids(groups)
+    # Bijection: distinct originals -> distinct new ids, contiguous range.
+    assert sorted(user_map.values()) == list(range(len(user_map)))
+    assert sorted(item_map.values()) == list(range(len(item_map)))
+    # Structure preserved group-by-group.
+    for old, new in zip(groups, remapped):
+        assert user_map[old.initiator] == new.initiator
+        assert item_map[old.item] == new.item
+        assert tuple(user_map[p] for p in old.participants) == new.participants
+
+
+@settings(max_examples=40, deadline=None)
+@given(deal_groups(), st.integers(0, 2**31 - 1))
+def test_split_partitions_exactly(groups, seed):
+    train, val, test = split_groups(groups, (7, 3, 1), seed)
+    assert len(train) + len(val) + len(test) == len(groups)
+    # Multiset equality: every group appears exactly once across splits.
+    combined = sorted(
+        (g.initiator, g.item, g.participants) for g in train + val + test
+    )
+    original = sorted((g.initiator, g.item, g.participants) for g in groups)
+    assert combined == original
+
+
+@settings(max_examples=40, deadline=None)
+@given(deal_groups())
+def test_sample_extraction_counts(groups):
+    task_a = extract_task_a(groups)
+    task_b = extract_task_b(groups)
+    assert len(task_a) == len(groups)
+    assert len(task_b) == sum(g.size for g in groups)
+    # Every task-B triple's group index points at a group containing it.
+    for k in range(len(task_b)):
+        g = groups[int(task_b.group_index[k])]
+        assert task_b.participants[k] in g.participants
+        assert task_b.users[k] == g.initiator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=20
+    ),
+    st.integers(0, 19),
+)
+def test_rank_of_positive_bounds_and_metrics(scores, pos_index):
+    pos_index = pos_index % len(scores)
+    rank = rank_of_positive(scores, pos_index)
+    assert 1 <= rank <= len(scores)
+    for cutoff in (1, 10, 100):
+        rr = reciprocal_rank(rank, cutoff)
+        nd = ndcg(rank, cutoff)
+        assert 0.0 <= rr <= 1.0
+        assert 0.0 <= nd <= 1.0
+        assert nd >= rr or rank == 1  # NDCG decays more gently
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=10
+    )
+)
+def test_rank_improves_when_positive_score_rises(scores):
+    # Monotonicity: raising the positive's score never worsens its rank.
+    before = rank_of_positive(scores, 0)
+    boosted = [scores[0] + 100.0] + scores[1:]
+    after = rank_of_positive(boosted, 0)
+    assert after <= before

@@ -1,0 +1,95 @@
+"""Additional negative-sampler and protocol edge-case tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import DealGroup, GroupBuyingDataset, NegativeSampler
+
+
+@pytest.fixture()
+def mini_dataset():
+    return GroupBuyingDataset(
+        n_users=8,
+        n_items=5,
+        train=[
+            DealGroup(0, 0, (1, 2)),
+            DealGroup(0, 1, (3,)),
+            DealGroup(4, 2, (5,)),
+        ],
+        validation=[DealGroup(4, 3, (6,))],
+        test=[DealGroup(1, 4, (7,))],
+    )
+
+
+class TestSamplerSplits:
+    def test_train_only_exclusions(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0, splits=("train",))
+        # User 4 bought items 2 (train) and 3 (validation): with
+        # train-only exclusions item 3 may legitimately be sampled.
+        draws = sampler.sample_items(4, 200)
+        assert 2 not in draws
+        assert 3 in draws
+
+    def test_all_split_exclusions(self, mini_dataset):
+        sampler = NegativeSampler(
+            mini_dataset, seed=0, splits=("train", "validation", "test")
+        )
+        draws = sampler.sample_items(4, 200)
+        assert 2 not in draws and 3 not in draws
+
+    def test_participant_sampler_excludes_initiator(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        draws = sampler.sample_participants(0, 0, 300)
+        assert 0 not in draws
+        assert 1 not in draws and 2 not in draws  # G_{0,0}
+
+    def test_participant_extra_exclude(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        draws = sampler.sample_participants(0, 0, 300, extra_exclude=(3, 4))
+        assert not {3, 4} & set(draws.tolist())
+
+    def test_unseen_pair_excludes_only_user(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        draws = sampler.sample_participants(6, 0, 300)
+        assert 6 not in draws
+
+
+class TestCorruptionSets:
+    def test_corrupt_items_excludes_only_true_item(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        users = np.array([0, 0])
+        items = np.array([0, 1])
+        out = sampler.corrupt_items(users, items, 100)
+        assert 0 not in out[0]
+        assert 1 not in out[1]
+        # The user's OTHER purchases are allowed in T_I (i' ∈ I \ i).
+        assert 1 in out[0]
+
+    def test_corrupt_participants_excludes_group(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        out = sampler.corrupt_participants(np.array([0]), np.array([0]), 200)
+        assert not {0, 1, 2} & set(out[0].tolist())
+
+    def test_shapes(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        users = np.array([0, 4, 0])
+        items = np.array([0, 2, 1])
+        assert sampler.corrupt_items(users, items, 7).shape == (3, 7)
+        assert sampler.corrupt_participants(users, items, 7).shape == (3, 7)
+
+    def test_batch_length_mismatch(self, mini_dataset):
+        sampler = NegativeSampler(mini_dataset, seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_participants_batch(np.array([0, 1]), np.array([0]), 3)
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_same_draws(self, mini_dataset):
+        a = NegativeSampler(mini_dataset, seed=42).sample_items(0, 50)
+        b = NegativeSampler(mini_dataset, seed=42).sample_items(0, 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_differs(self, mini_dataset):
+        a = NegativeSampler(mini_dataset, seed=1).sample_items(0, 50)
+        b = NegativeSampler(mini_dataset, seed=2).sample_items(0, 50)
+        assert not np.array_equal(a, b)

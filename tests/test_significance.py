@@ -1,0 +1,106 @@
+"""Tests for multi-seed aggregation and the paired bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MultiSeedResult, SeedRun, run_multiseed
+from repro.baselines import GBMF
+from repro.eval import EvalProtocol, collect_ranks, paired_bootstrap
+from repro.training import TrainConfig
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self, rng):
+        ranks_a = rng.integers(1, 3, size=200)    # strong model
+        ranks_b = rng.integers(5, 11, size=200)   # weak model
+        result = paired_bootstrap(ranks_a, ranks_b, cutoff=10, seed=0)
+        assert result.delta > 0
+        assert result.p_value < 0.01
+        assert result.significant
+
+    def test_identical_models_not_significant(self, rng):
+        ranks = rng.integers(1, 11, size=200)
+        result = paired_bootstrap(ranks, ranks, cutoff=10, seed=0)
+        assert result.delta == pytest.approx(0.0)
+        assert not result.significant
+
+    def test_ndcg_metric_variant(self, rng):
+        ranks_a = rng.integers(1, 3, size=100)
+        ranks_b = rng.integers(8, 11, size=100)
+        result = paired_bootstrap(ranks_a, ranks_b, metric="ndcg", seed=0)
+        assert result.mean_a > result.mean_b
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1, 2], [1], seed=0)
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [], seed=0)
+        with pytest.raises(ValueError):
+            paired_bootstrap([1], [1], metric="map", seed=0)
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.integers(1, 11, 50)
+        b = rng.integers(1, 11, 50)
+        r1 = paired_bootstrap(a, b, seed=7)
+        r2 = paired_bootstrap(a, b, seed=7)
+        assert r1.p_value == r2.p_value
+
+
+class TestCollectRanks:
+    def test_ranks_within_candidate_list(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, max_instances=12)
+        for task in ("a", "b"):
+            ranks = collect_ranks(model, protocol, task=task)
+            assert len(ranks) == 12
+            assert np.all((ranks >= 1) & (ranks <= 10))
+
+    def test_invalid_task(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        protocol = EvalProtocol(tiny_dataset, max_instances=3)
+        with pytest.raises(ValueError):
+            collect_ranks(model, protocol, task="c")
+
+    def test_paired_across_models(self, tiny_dataset):
+        # Two models share the exact candidate lists => paired comparison valid.
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, max_instances=10)
+        m1 = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        m2 = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=5)
+        r1 = collect_ranks(m1, protocol, "a")
+        r2 = collect_ranks(m2, protocol, "a")
+        result = paired_bootstrap(r1, r2, seed=0)
+        assert result.n_instances == 10
+
+
+class TestMultiSeed:
+    def test_aggregation_math(self):
+        result = MultiSeedResult(
+            runs=[
+                SeedRun(0, {"A/MRR@10": 0.4}),
+                SeedRun(1, {"A/MRR@10": 0.6}),
+            ]
+        )
+        assert result.mean("A/MRR@10") == pytest.approx(0.5)
+        assert result.std("A/MRR@10") == pytest.approx(0.1)
+        assert result.summary()["A/MRR@10"] == "0.5000±0.1000"
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            MultiSeedResult().summary()
+
+    def test_run_multiseed_end_to_end(self, tiny_dataset):
+        result = run_multiseed(
+            model_builder=lambda seed: GBMF(
+                tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=seed
+            ),
+            dataset=tiny_dataset,
+            train_config_builder=lambda seed: TrainConfig(
+                epochs=1, batch_size=32, learning_rate=1e-2,
+                train_negatives=2, seed=seed,
+            ),
+            seeds=(0, 1),
+            eval_max_instances=10,
+        )
+        assert len(result.runs) == 2
+        assert "A/MRR@10" in result.runs[0].metrics
+        assert 0.0 <= result.mean("A/MRR@10") <= 1.0
