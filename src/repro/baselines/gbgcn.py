@@ -73,8 +73,12 @@ class GBGCN(GroupBuyingRecommender):
         self.social_weight = social_weight
         views = build_views(groups, n_users, n_items)
         self.views = views
-        self.gcn_init = GCN(views.n_nodes_bipartite, dim, n_layers, seed=rngs[0])
-        self.gcn_part = GCN(views.n_nodes_bipartite, dim, n_layers, seed=rngs[1])
+        self.gcn_init = GCN(
+            views.n_nodes_bipartite, dim, n_layers, seed=rngs[0], adjacency=views.a_ui
+        )
+        self.gcn_part = GCN(
+            views.n_nodes_bipartite, dim, n_layers, seed=rngs[1], adjacency=views.a_pi
+        )
         # Row-stochastic social operator for neighbour smoothing; built
         # from the same co-group edges as the normalized a_up.
         self.social_mean = _row_normalize(views.a_up)
@@ -82,8 +86,8 @@ class GBGCN(GroupBuyingRecommender):
     def compute_embeddings(self) -> EmbeddingBundle:
         """Role GCNs + social smoothing; items concatenate both views."""
         n_users = self.n_users
-        x_init = self.gcn_init(self.views.a_ui)
-        x_part = self.gcn_part(self.views.a_pi)
+        x_init = self.gcn_init()
+        x_part = self.gcn_part()
         users_init = x_init[slice(0, n_users)]
         users_part = x_part[slice(0, n_users)]
         items = concat(

@@ -116,13 +116,21 @@ def main_eval(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--dim", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-instances", type=int, default=300)
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=["float32", "float64"],
+        help="scoring precision; float32 enables the inference fast path",
+    )
     args = parser.parse_args(argv)
     configure_logging()
 
     dataset = _make_dataset(args)
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     restore_model(model, args.checkpoint, strict=False)
-    results = evaluate_model(model, dataset, max_instances=args.max_instances)
+    results = evaluate_model(
+        model, dataset, max_instances=args.max_instances, dtype=args.dtype
+    )
     for cutoff, result in results.items():
         print(f"--- {cutoff} ---")
         print(f"Task A: {result.task_a}")

@@ -93,6 +93,13 @@ class MGBRConfig:
     grad_clip: float = 5.0
     seed: int = 0
 
+    # --- serving / evaluation ------------------------------------------
+    #: Scoring precision of candidate-list evaluation and serving-style
+    #: inference.  Training and gradcheck always run float64; "float32"
+    #: opts evaluation into the substrate's half-bandwidth fast path
+    #: (see repro.nn.tensor.dtype_scope / repro.eval.protocol).
+    inference_dtype: str = "float64"
+
     def __post_init__(self) -> None:
         if self.d <= 0:
             raise ValueError(f"embedding dim d must be positive, got {self.d}")
@@ -113,6 +120,10 @@ class MGBRConfig:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
         if self.aux_a_mode not in ("literal", "listnet"):
             raise ValueError(f"aux_a_mode must be literal|listnet, got {self.aux_a_mode!r}")
+        if self.inference_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"inference_dtype must be float32|float64, got {self.inference_dtype!r}"
+            )
         if self.mlp_hidden is None:
             self.mlp_hidden = (self.d, max(self.d // 2, 1))
 

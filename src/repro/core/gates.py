@@ -86,6 +86,21 @@ class AdjustedGate(Module):
         self.head_ip = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
         self.head_up = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
 
+    @staticmethod
+    def build_pairs(e_u: Tensor, e_i: Tensor, e_p: Tensor):
+        """Concatenate the three pair features ``(e_u||e_i, e_i||e_p, e_u||e_p)``.
+
+        The pairs depend only on the raw object embeddings, so one
+        triple serves every adjusted gate of every MTL layer — the
+        multi-task module builds it once per forward instead of paying
+        three large concatenations per gate per layer.
+        """
+        return (
+            concat([e_u, e_i], axis=1),
+            concat([e_i, e_p], axis=1),
+            concat([e_u, e_p], axis=1),
+        )
+
     def forward(
         self,
         e_u: Tensor,
@@ -94,15 +109,21 @@ class AdjustedGate(Module):
         bank_ui: Tensor,
         bank_ip: Tensor,
         bank_up: Tensor,
+        pairs=None,
     ) -> Tensor:
         """Sum the three pair-attention terms.
 
         Which bank each pair attends over differs between gate A and
         gate B; the caller (:class:`TaskGate`) wires them per Eq. 11/13.
+        ``pairs`` optionally supplies precomputed :meth:`build_pairs`
+        output (the hot path); otherwise they are built here.
         """
-        term_ui = self.head_ui(concat([e_u, e_i], axis=1), bank_ui)
-        term_ip = self.head_ip(concat([e_i, e_p], axis=1), bank_ip)
-        term_up = self.head_up(concat([e_u, e_p], axis=1), bank_up)
+        if pairs is None:
+            pairs = self.build_pairs(e_u, e_i, e_p)
+        pair_ui, pair_ip, pair_up = pairs
+        term_ui = self.head_ui(pair_ui, bank_ui)
+        term_ip = self.head_ip(pair_ip, bank_ip)
+        term_up = self.head_up(pair_up, bank_up)
         return term_ui + term_ip + term_up
 
 
@@ -154,11 +175,13 @@ class TaskGate(Module):
         e_u: Tensor,
         e_i: Tensor,
         e_p: Tensor,
+        pairs=None,
     ) -> Tensor:
         """Produce ``g^l`` for this task.
 
         ``state`` is ``g^{l-1}_task || g^{l-1}_S`` (or just the task state
-        when no shared bank exists).
+        when no shared bank exists).  ``pairs`` optionally carries the
+        precomputed pair features shared across layers and towers.
         """
         if self.shared:
             if shared_bank is None:
@@ -171,10 +194,10 @@ class TaskGate(Module):
             other = shared_bank if self.shared else own_bank
             if self.own_is_ui:
                 # Gate A: (u,i) -> own bank; (i,p), (u,p) -> shared bank.
-                adj = self.adjusted(e_u, e_i, e_p, own_bank, other, other)
+                adj = self.adjusted(e_u, e_i, e_p, own_bank, other, other, pairs=pairs)
             else:
                 # Gate B: (u,i) -> shared bank; (i,p), (u,p) -> own bank.
-                adj = self.adjusted(e_u, e_i, e_p, other, own_bank, own_bank)
+                adj = self.adjusted(e_u, e_i, e_p, other, own_bank, own_bank, pairs=pairs)
             out = out + self.alpha * adj
         return out
 

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import MGBRConfig
 from repro.core.experts import ExpertBank
-from repro.core.gates import SharedGate, TaskGate
+from repro.core.gates import AdjustedGate, SharedGate, TaskGate
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, concat
 from repro.utils.rng import SeedLike, spawn_rngs
@@ -101,10 +101,14 @@ class MTLLayer(Module):
         e_u: Tensor,
         e_i: Tensor,
         e_p: Tensor,
+        pairs=None,
     ) -> Tuple[Tensor, Optional[Tensor], Tensor]:
         """Advance the gate states one layer.
 
         Returns ``(g_a, g_s, g_b)``; ``g_s`` is ``None`` without sharing.
+        ``pairs`` optionally carries the precomputed pair features (see
+        :meth:`repro.core.gates.AdjustedGate.build_pairs`) so the stack
+        concatenates them once instead of per gate per layer.
         """
         if self.shared:
             if self.compact_input:
@@ -118,15 +122,15 @@ class MTLLayer(Module):
             bank_a = self.experts_a(state_a)
             bank_b = self.experts_b(state_b)
             bank_s = self.experts_s(state_s)
-            new_a = self.gate_a(state_a, bank_a, bank_s, e_u, e_i, e_p)
-            new_b = self.gate_b(state_b, bank_b, bank_s, e_u, e_i, e_p)
+            new_a = self.gate_a(state_a, bank_a, bank_s, e_u, e_i, e_p, pairs=pairs)
+            new_b = self.gate_b(state_b, bank_b, bank_s, e_u, e_i, e_p, pairs=pairs)
             new_s = self.gate_s(state_s, bank_a, bank_s, bank_b)
             return new_a, new_s, new_b
 
         bank_a = self.experts_a(g_a)
         bank_b = self.experts_b(g_b)
-        new_a = self.gate_a(g_a, bank_a, None, e_u, e_i, e_p)
-        new_b = self.gate_b(g_b, bank_b, None, e_u, e_i, e_p)
+        new_a = self.gate_a(g_a, bank_a, None, e_u, e_i, e_p, pairs=pairs)
+        new_b = self.gate_b(g_b, bank_b, None, e_u, e_i, e_p, pairs=pairs)
         return new_a, None, new_b
 
 
@@ -178,6 +182,14 @@ class MultiTaskModule(Module):
         g_a, g_s, g_b = g0, g0, g0
         if not self.config.use_shared_experts:
             g_s = None
+        # The adjusted gates' pair features depend only on the raw
+        # embeddings — build them once and share across all layers and
+        # both towers (three concats total instead of three per gate).
+        pairs = None
+        if self.config.use_adjusted_gates and (
+            self.config.alpha_a > 0 or self.config.alpha_b > 0
+        ):
+            pairs = AdjustedGate.build_pairs(e_u, e_i, e_p)
         for layer in self._layers:
-            g_a, g_s, g_b = layer(g_a, g_s, g_b, e_u, e_i, e_p)
+            g_a, g_s, g_b = layer(g_a, g_s, g_b, e_u, e_i, e_p, pairs=pairs)
         return g_a, g_b

@@ -54,10 +54,20 @@ class MultiViewEmbedding(Module):
         self.dim = dim
         rng_ui, rng_pi, rng_up = spawn_rngs(seed, 3)
         n_bip = views.n_nodes_bipartite
-        self.gcn_ui = GCN(n_bip, dim, n_layers, feature_std=feature_std, seed=rng_ui, gain=gain)
-        self.gcn_pi = GCN(n_bip, dim, n_layers, feature_std=feature_std, seed=rng_pi, gain=gain)
+        # Each GCN binds its fixed view adjacency at construction: the
+        # CSR canonicalisation (and spmm's transpose cache) happen once,
+        # not per forward pass.
+        self.gcn_ui = GCN(
+            n_bip, dim, n_layers, feature_std=feature_std, seed=rng_ui, gain=gain,
+            adjacency=views.a_ui,
+        )
+        self.gcn_pi = GCN(
+            n_bip, dim, n_layers, feature_std=feature_std, seed=rng_pi, gain=gain,
+            adjacency=views.a_pi,
+        )
         self.gcn_up = GCN(
-            views.n_users, dim, n_layers, feature_std=feature_std, seed=rng_up, gain=gain
+            views.n_users, dim, n_layers, feature_std=feature_std, seed=rng_up, gain=gain,
+            adjacency=views.a_up,
         )
 
     def forward(self) -> EmbeddingBundle:
@@ -68,9 +78,9 @@ class MultiViewEmbedding(Module):
         ``participant`` every user's participant-role embedding ``e_p``.
         """
         n_users = self.views.n_users
-        x_ui = self.gcn_ui(self.views.a_ui)     # (|U|+|I|, d)
-        x_pi = self.gcn_pi(self.views.a_pi)     # (|U|+|I|, d)
-        x_up = self.gcn_up(self.views.a_up)     # (|U|, d)
+        x_ui = self.gcn_ui()     # (|U|+|I|, d)
+        x_pi = self.gcn_pi()     # (|U|+|I|, d)
+        x_up = self.gcn_up()     # (|U|, d)
 
         users_ui = x_ui[slice(0, n_users)]
         items_ui = x_ui[slice(n_users, None)]
@@ -128,12 +138,13 @@ class HINEmbedding(Module):
         self.n_items = n_items
         self.adjacency = build_hin_adjacency(groups, n_users, n_items)
         self.gcn = GCN(
-            n_users + n_items, 2 * dim, n_layers, feature_std=feature_std, seed=seed, gain=gain
+            n_users + n_items, 2 * dim, n_layers, feature_std=feature_std, seed=seed,
+            gain=gain, adjacency=self.adjacency,
         )
 
     def forward(self) -> EmbeddingBundle:
         """One GCN pass; users serve as both roles, items are item nodes."""
-        x = self.gcn(self.adjacency)
+        x = self.gcn()
         users = x[slice(0, self.n_users)]
         items = x[slice(self.n_users, None)]
         return EmbeddingBundle(user=users, item=items, participant=users)

@@ -10,16 +10,22 @@ Three distinct samplers, matching Sec. III-A2 and Sec. II-G:
 * **Auxiliary corruption sets** — for a positive triple ``t=(u,i,p)``,
   ``T_I_t`` corrupts the item (``i' ∈ I\\{i}``) and ``T_P_t`` corrupts the
   participant (``p' ∈ U \\ G_{u,i}``), both of fixed size ``|T|``.
+
+All batch entry points (``*_batch``, ``corrupt_*``) run one vectorised
+rejection-sampling pass over the whole batch
+(:func:`repro.utils.rng.choice_excluding_batch`) instead of a Python
+call per row — this is what makes candidate-list construction and the
+training samplers scale.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.data.schema import GroupBuyingDataset
-from repro.utils.rng import SeedLike, as_rng, choice_excluding
+from repro.utils.rng import SeedLike, as_rng, choice_excluding, choice_excluding_batch
 
 __all__ = ["NegativeSampler"]
 
@@ -51,6 +57,31 @@ class NegativeSampler:
         self._user_items: Dict[int, Set[int]] = dataset.user_items(splits)
         self._group_members: Dict[Tuple[int, int], Set[int]] = dataset.group_members(splits)
 
+    def _participant_excludes(self, users, items) -> List[Set[int]]:
+        """Per-row Task-B base exclusions: ``G_{u,i}`` plus ``u`` itself."""
+        out: List[Set[int]] = []
+        for u, i in zip(users, items):
+            exc = set(self._group_members.get((int(u), int(i)), set()))
+            exc.add(int(u))
+            out.append(exc)
+        return out
+
+    @staticmethod
+    def _merge_extra(base: Sequence[Set[int]], extra) -> List[Sequence[int]]:
+        """Combine per-row base exclusion sets with optional extras.
+
+        ``extra`` may be ``None``, a ``(rows,)`` array (one extra id per
+        row) or a sequence of per-row iterables.
+        """
+        if extra is None:
+            return [tuple(b) for b in base]
+        merged: List[Sequence[int]] = []
+        for row, b in enumerate(base):
+            e = extra[row]
+            additions = (int(e),) if np.isscalar(e) else tuple(int(x) for x in e)
+            merged.append(tuple(b) + additions)
+        return merged
+
     # ------------------------------------------------------------------
     # Task A
     # ------------------------------------------------------------------
@@ -60,12 +91,18 @@ class NegativeSampler:
         exclude.update(int(x) for x in extra_exclude)
         return choice_excluding(self.rng, self.n_items, exclude, n)
 
-    def sample_items_batch(self, users: np.ndarray, n: int) -> np.ndarray:
-        """Vector form of :meth:`sample_items` → shape ``(len(users), n)``."""
-        out = np.empty((len(users), n), dtype=np.int64)
-        for row, user in enumerate(users):
-            out[row] = self.sample_items(int(user), n)
-        return out
+    def sample_items_batch(
+        self, users: np.ndarray, n: int, extra_exclude: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vector form of :meth:`sample_items` → shape ``(len(users), n)``.
+
+        One batched rejection-sampling pass over all rows; ``extra_exclude``
+        optionally adds per-row exclusions (e.g. each row's positive item
+        when building evaluation candidate lists).
+        """
+        base = [self._user_items.get(int(u), set()) for u in users]
+        excludes = self._merge_extra(base, extra_exclude)
+        return choice_excluding_batch(self.rng, self.n_items, excludes, n)
 
     # ------------------------------------------------------------------
     # Task B
@@ -84,15 +121,22 @@ class NegativeSampler:
         return choice_excluding(self.rng, self.n_users, exclude, n)
 
     def sample_participants_batch(
-        self, users: np.ndarray, items: np.ndarray, n: int
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        n: int,
+        extra_exclude: Optional[Sequence] = None,
     ) -> np.ndarray:
-        """Vector form of :meth:`sample_participants` → ``(len(users), n)``."""
+        """Vector form of :meth:`sample_participants` → ``(len(users), n)``.
+
+        ``extra_exclude`` optionally supplies per-row extra exclusions
+        (the evaluation protocol passes each instance's full observed
+        participant set, which the train-split ``G_{u,i}`` cannot know).
+        """
         if len(users) != len(items):
             raise ValueError("users and items must be the same length")
-        out = np.empty((len(users), n), dtype=np.int64)
-        for row, (u, i) in enumerate(zip(users, items)):
-            out[row] = self.sample_participants(int(u), int(i), n)
-        return out
+        excludes = self._merge_extra(self._participant_excludes(users, items), extra_exclude)
+        return choice_excluding_batch(self.rng, self.n_users, excludes, n)
 
     # ------------------------------------------------------------------
     # Auxiliary corruption sets (Sec. II-G)
@@ -103,18 +147,12 @@ class NegativeSampler:
         The definition is ``i' ∈ I \\ i`` — only the true item is
         excluded, not the user's other purchases.
         """
-        out = np.empty((len(users), size), dtype=np.int64)
-        for row, item in enumerate(items):
-            out[row] = choice_excluding(self.rng, self.n_items, {int(item)}, size)
-        return out
+        excludes = [(int(item),) for item in items]
+        return choice_excluding_batch(self.rng, self.n_items, excludes, size)
 
     def corrupt_participants(
         self, users: np.ndarray, items: np.ndarray, size: int
     ) -> np.ndarray:
         """``T_P``: replace the participant with ``p' ∈ U \\ G_{u,i}``."""
-        out = np.empty((len(users), size), dtype=np.int64)
-        for row, (u, i) in enumerate(zip(users, items)):
-            exclude = set(self._group_members.get((int(u), int(i)), set()))
-            exclude.add(int(u))
-            out[row] = choice_excluding(self.rng, self.n_users, exclude, size)
-        return out
+        excludes = self._participant_excludes(users, items)
+        return choice_excluding_batch(self.rng, self.n_users, excludes, size)

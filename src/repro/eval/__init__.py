@@ -11,6 +11,7 @@ from repro.eval.metrics import (
     hit,
     ndcg,
     rank_of_positive,
+    ranks_of_positives,
     reciprocal_rank,
 )
 from repro.eval.protocol import EvalProtocol, EvalResult, evaluate_model
@@ -18,6 +19,7 @@ from repro.eval.significance import BootstrapResult, collect_ranks, paired_boots
 
 __all__ = [
     "rank_of_positive",
+    "ranks_of_positives",
     "reciprocal_rank",
     "ndcg",
     "hit",

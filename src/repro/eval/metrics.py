@@ -11,6 +11,12 @@ negatives), so per-instance:
 
 where ``rank`` is the 1-based position of the positive when candidates
 are sorted by descending score.
+
+Ranking is fully vectorized: :func:`ranks_of_positives` ranks a whole
+``(n_instances, n_candidates)`` score matrix in one shot, which is what
+the batched evaluation protocol feeds it; :func:`rank_of_positive` is
+the single-list form.  Both use the same pessimistic tie convention, so
+the batched protocol is bit-identical to a per-instance loop.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "rank_of_positive",
+    "ranks_of_positives",
     "reciprocal_rank",
     "ndcg",
     "hit",
@@ -44,6 +51,40 @@ def rank_of_positive(scores: Sequence[float], positive_index: int = 0) -> int:
     target = scores[positive_index]
     others = np.delete(scores, positive_index)
     return int(1 + (others >= target).sum())
+
+
+def ranks_of_positives(scores: np.ndarray, positive_index: int = 0) -> np.ndarray:
+    """Vectorized :func:`rank_of_positive` over a whole score matrix.
+
+    Parameters
+    ----------
+    scores: ``(n_instances, n_candidates)`` matrix — one candidate list
+        per row, all rows sharing the positive's column.
+    positive_index: column of the positive candidate.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n_instances,)`` int64 1-based ranks with the same pessimistic
+        tie convention as :func:`rank_of_positive`: the positive's rank
+        is ``#(candidates >= positive)`` including itself exactly once.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected a 2-D score matrix, got shape {scores.shape}")
+    if not 0 <= positive_index < scores.shape[1]:
+        raise IndexError(
+            f"positive_index {positive_index} outside candidate lists of size {scores.shape[1]}"
+        )
+    target = scores[:, positive_index][:, None]
+    # The positive compares >= to itself exactly once, which contributes
+    # the "+1" of the 1-based rank; every tied negative also counts,
+    # matching the pessimistic convention.
+    ranks = (scores >= target).sum(axis=1).astype(np.int64)
+    # A NaN positive compares False even to itself; the scalar form then
+    # yields rank 1 (no comparison wins against NaN) — mirror that
+    # instead of emitting an invalid rank 0.
+    return np.where(np.isnan(target[:, 0]), np.int64(1), ranks)
 
 
 def reciprocal_rank(rank: int, cutoff: int) -> float:
@@ -80,7 +121,8 @@ class RankingAccumulator:
     """Accumulates per-instance ranks and reports mean metrics.
 
     One accumulator per (task, protocol) pair; the evaluation protocol
-    feeds it the rank of each test instance's positive and finally calls
+    feeds it the ranks of the test instances' positives (a whole array
+    at once via :meth:`add_ranks` on the batched path) and finally calls
     :meth:`result`.
     """
 
@@ -98,6 +140,13 @@ class RankingAccumulator:
             raise ValueError(f"rank is 1-based, got {rank}")
         self._ranks.append(int(rank))
 
+    def add_ranks(self, ranks: np.ndarray) -> None:
+        """Record a whole array of ranks (validated vectorised)."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and int(ranks.min()) < 1:
+            raise ValueError(f"rank is 1-based, got {int(ranks.min())}")
+        self._ranks.extend(int(r) for r in ranks)
+
     def extend(self, ranks: Iterable[int]) -> None:
         """Record many ranks at once."""
         for r in ranks:
@@ -111,8 +160,10 @@ class RankingAccumulator:
         if not self._ranks:
             raise ValueError("no ranks recorded")
         n = self.cutoff
+        ranks = np.asarray(self._ranks, dtype=np.float64)
+        inside = ranks <= n
         return {
-            f"MRR@{n}": float(np.mean([reciprocal_rank(r, n) for r in self._ranks])),
-            f"NDCG@{n}": float(np.mean([ndcg(r, n) for r in self._ranks])),
-            f"HR@{n}": float(np.mean([hit(r, n) for r in self._ranks])),
+            f"MRR@{n}": float(np.mean(np.where(inside, 1.0 / ranks, 0.0))),
+            f"NDCG@{n}": float(np.mean(np.where(inside, 1.0 / np.log2(ranks + 1.0), 0.0))),
+            f"HR@{n}": float(np.mean(inside.astype(np.float64))),
         }

@@ -92,34 +92,31 @@ def paired_bootstrap(
 def collect_ranks(model, protocol, task: str = "a") -> np.ndarray:
     """Per-instance positive ranks of ``model`` under ``protocol``.
 
+    Uses the protocol's batched scoring path (one encoder pass, chunked
+    candidate-matrix model calls, vectorised ranking).
+
     Parameters
     ----------
     model: a GroupBuyingRecommender.
     protocol: an :class:`repro.eval.protocol.EvalProtocol`.
     task: "a" or "b".
     """
-    from repro.eval.metrics import rank_of_positive
-    from repro.nn.tensor import no_grad
+    from repro.eval.metrics import ranks_of_positives
+    from repro.nn.tensor import dtype_scope, no_grad
 
     if task not in ("a", "b"):
         raise ValueError(f"task must be 'a' or 'b', got {task!r}")
     model.eval()
-    with no_grad():
-        if hasattr(model, "refresh_cache"):
-            model.refresh_cache()
-        lists_a, lists_b = protocol._candidate_lists()
-        ranks = []
-        if task == "a":
-            users, cands = lists_a["users"], lists_a["candidates"]
-            for row in range(len(users)):
-                u_rep = np.full(cands.shape[1], users[row], dtype=np.int64)
-                scores = model.score_items(u_rep, cands[row])
-                ranks.append(rank_of_positive(np.asarray(scores.data).ravel(), 0))
-        else:
-            users, items, cands = lists_b["users"], lists_b["items"], lists_b["candidates"]
-            for row in range(len(users)):
-                u_rep = np.full(cands.shape[1], users[row], dtype=np.int64)
-                i_rep = np.full(cands.shape[1], items[row], dtype=np.int64)
-                scores = model.score_participants(u_rep, i_rep, cands[row])
-                ranks.append(rank_of_positive(np.asarray(scores.data).ravel(), 0))
-    return np.asarray(ranks, dtype=np.int64)
+    try:
+        with no_grad(), dtype_scope(protocol.dtype):
+            if hasattr(model, "refresh_cache"):
+                model.refresh_cache()
+            lists_a, lists_b = protocol._candidate_lists()
+            if task == "a":
+                scores = protocol._score_task_a(model, lists_a)
+            else:
+                scores = protocol._score_task_b(model, lists_b)
+    finally:
+        if protocol.dtype != "float64" and hasattr(model, "invalidate_cache"):
+            model.invalidate_cache()
+    return ranks_of_positives(scores)

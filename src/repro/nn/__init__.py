@@ -16,10 +16,14 @@ from repro.nn.sparse import spmm, to_csr
 from repro.nn.tensor import (
     Tensor,
     concat,
+    dtype_scope,
+    get_default_dtype,
+    inference_mode,
     no_grad,
     is_grad_enabled,
     ones,
     scatter_rows_sum,
+    set_default_dtype,
     stack,
     take_rows,
     tensor,
@@ -37,6 +41,10 @@ __all__ = [
     "scatter_rows_sum",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "dtype_scope",
+    "inference_mode",
     "Module",
     "Parameter",
     "Linear",

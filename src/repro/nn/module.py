@@ -19,10 +19,19 @@ __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A tensor registered as trainable model state."""
+    """A tensor registered as trainable model state.
+
+    Parameters are pinned to ``float64`` regardless of any active
+    ``dtype_scope``/``inference_mode`` — the dtype policy casts op
+    *results*, never trainable state, so a model constructed inside an
+    inference scope still trains and gradchecks at full precision.
+    """
 
     def __init__(self, data, name: str = "") -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        # dtype passed explicitly so the initial values never round-trip
+        # through a narrower scope dtype.
+        super().__init__(data, requires_grad=True, name=name, dtype=np.float64)
+        self.requires_grad = True
 
 
 class Module:

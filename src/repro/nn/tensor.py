@@ -23,6 +23,24 @@ Design notes
 * :func:`no_grad` disables graph construction globally, mirroring
   ``torch.no_grad`` — evaluation loops use it to avoid building graphs
   for millions of candidate scores.
+
+Dtype policy
+------------
+The substrate carries a global *default dtype* (:func:`get_default_dtype`
+/ :func:`set_default_dtype`).  It is ``float64`` out of the box — the
+finite-difference gradient checker and training both rely on double
+precision — but serving-style scoring can opt into ``float32`` to halve
+memory bandwidth on the hot ``spmm``/matmul paths:
+
+* :func:`dtype_scope` temporarily switches the default dtype, so every
+  tensor created inside the block (including op results) is cast to it;
+* :func:`inference_mode` combines :func:`no_grad` with a ``float32``
+  (or caller-chosen) :func:`dtype_scope` — the evaluation protocol's
+  ``dtype="float32"`` fast path uses exactly this.
+
+Gradients always accumulate in the owning tensor's dtype, so training at
+the ``float64`` default is bit-for-bit unaffected by the policy's
+existence.
 """
 
 from __future__ import annotations
@@ -39,6 +57,10 @@ __all__ = [
     "ones",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "dtype_scope",
+    "inference_mode",
     "concat",
     "stack",
     "take_rows",
@@ -48,6 +70,58 @@ __all__ = [
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
+
+_SUPPORTED_DTYPES = (np.float32, np.float64)
+_DEFAULT_DTYPE = np.float64
+
+
+def _coerce_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in tuple(np.dtype(d) for d in _SUPPORTED_DTYPES):
+        raise ValueError(
+            f"unsupported tensor dtype {dtype!r}; supported: float32, float64"
+        )
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly created tensors (and op results) are cast to."""
+    return np.dtype(_DEFAULT_DTYPE)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global default dtype (``float32`` or ``float64``).
+
+    Training and gradcheck assume the ``float64`` default; prefer the
+    scoped :func:`dtype_scope` / :func:`inference_mode` for the
+    ``float32`` inference fast path so the change cannot leak.
+    """
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _coerce_dtype(dtype)
+
+
+@contextlib.contextmanager
+def dtype_scope(dtype):
+    """Temporarily switch the default tensor dtype inside a block."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _coerce_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
+
+
+@contextlib.contextmanager
+def inference_mode(dtype=np.float32):
+    """``no_grad()`` + :func:`dtype_scope` — the serving fast path.
+
+    Inside the block no autograd graphs are built and every op result is
+    cast to ``dtype`` (default ``float32``), halving memory bandwidth on
+    the dense/sparse matmul hot paths.
+    """
+    with no_grad(), dtype_scope(dtype):
+        yield
 
 
 def is_grad_enabled() -> bool:
@@ -115,10 +189,11 @@ class Tensor:
         _parents: Tuple["Tensor", ...] = (),
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
+        dtype=None,
     ) -> None:
         if isinstance(data, Tensor):  # pragma: no cover - defensive
             data = data.data
-        arr = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
         self.data = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
@@ -199,7 +274,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be supplied for non-scalar backward()")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -486,7 +561,8 @@ def tensor(data: ArrayLike, requires_grad: bool = False, name: str = "") -> Tens
 
     Parameters
     ----------
-    data: array-like initial value (copied into ``float64``).
+    data: array-like initial value (cast to the current default dtype,
+        ``float64`` unless inside a :func:`dtype_scope`).
     requires_grad: whether to track operations for differentiation.
     name: optional debugging label.
     """
@@ -495,12 +571,12 @@ def tensor(data: ArrayLike, requires_grad: bool = False, name: str = "") -> Tens
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
     """Tensor of zeros with the given shape."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
     """Tensor of ones with the given shape."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
@@ -574,7 +650,7 @@ def scatter_rows_sum(rows: Tensor, index: ArrayLike, n_rows: int) -> Tensor:
     (e.g. averaging participant embeddings per group).
     """
     idx = np.asarray(index, dtype=np.int64)
-    value = np.zeros((n_rows,) + rows.data.shape[1:], dtype=np.float64)
+    value = np.zeros((n_rows,) + rows.data.shape[1:], dtype=rows.data.dtype)
     np.add.at(value, idx, rows.data)
 
     def backward(g: np.ndarray) -> None:

@@ -65,6 +65,9 @@ class TrainConfig:
                                  # "combined" = A/MRR@10 + B/MRR@10 (both
                                  # sub-tasks matter, as in the paper)
     restore_best: bool = False   # reload the best-monitor weights after fit()
+    eval_dtype: str = "float64"  # periodic-validation scoring precision;
+                                 # "float32" opts into the inference fast
+                                 # path (see repro.eval.protocol)
     seed: SeedLike = 0
     verbose: bool = False
 
@@ -81,6 +84,7 @@ class TrainConfig:
             aux_negatives=config.aux_negatives,
             aux_a_mode=config.aux_a_mode,
             grad_clip=config.grad_clip,
+            eval_dtype=config.inference_dtype,
             seed=config.seed,
         )
         base.update(overrides)
@@ -124,6 +128,7 @@ class Trainer:
                 cutoff=10,
                 split="validation",
                 max_instances=self.config.eval_max_instances,
+                dtype=self.config.eval_dtype,
             )
 
     # ------------------------------------------------------------------
