@@ -15,11 +15,16 @@ protocol and the benchmark harness treat them uniformly:
   pass created by :meth:`refresh_cache` when available);
 * :meth:`score_items_matrix` / :meth:`score_participants_matrix` are the
   **batched scoring path**: they score one candidate *matrix* — many
-  instances × many candidates — in a single flattened model call against
-  the cached encoder pass.  The batched evaluation protocol calls these
-  once per chunk (thousands of rows), so the encoder runs exactly once
-  per evaluation and the expert/gate stack amortises across instances
-  instead of running on 10-row micro-batches.
+  instances × many candidates — against the cached encoder pass.  By
+  default the request is first compiled into a
+  :class:`repro.plan.ScoringPlan` (repeated requests scored once, the
+  result scattered back); ``score_item_plan`` /
+  ``score_participant_plan`` expose the unique-request scoring directly
+  to the evaluation protocol's chunked runner and the serving
+  front-end, and the ``_score_*_plan`` hooks let models exploit the
+  plan's entity structure (MGBR's factorized expert/gate stack does).
+  Scoring must therefore be a *pure function* of the id tuple given the
+  cached embeddings — which every model here satisfies in eval mode.
 
 Baselines that were not designed for Task B inherit the paper's
 tailoring (Sec. III-B): the participant score is the inner product of
@@ -28,11 +33,12 @@ the participant's and the initiator's user embeddings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.plan import ScoringPlan
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, take_rows
@@ -58,6 +64,19 @@ class EmbeddingBundle:
     user: Tensor
     item: Tensor
     participant: Tensor
+    _mean_participant: Optional[Tensor] = field(default=None, repr=False, compare=False)
+
+    def mean_participant(self) -> Tensor:
+        """``(1, d_p)`` average of all participant rows, computed once.
+
+        Task A's participant slot (paper Sec. II-E) uses this same
+        reduction for every scored request; caching it on the bundle
+        keeps the O(|U|·d) pass off the per-chunk hot path (as a shared
+        autograd sub-expression its gradient still accumulates
+        correctly in training)."""
+        if self._mean_participant is None:
+            self._mean_participant = self.participant.mean(axis=0, keepdims=True)
+        return self._mean_participant
 
 
 class GroupBuyingRecommender(Module):
@@ -138,9 +157,50 @@ class GroupBuyingRecommender(Module):
         return self.score_participants_from(self._bundle(), users, items, participants)
 
     # ------------------------------------------------------------------
-    # Batched (matrix) scoring — the evaluation/serving hot path
+    # Planned (deduplicated) scoring — the evaluation/serving hot path
     # ------------------------------------------------------------------
-    def score_items_matrix(self, users, candidate_items) -> np.ndarray:
+    def _score_item_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
+        """Score a plan's unique (u, i) requests → ``(P,)`` tensor.
+
+        The default routes through the flat scorers, so every baseline
+        inherits pair dedup for free; MGBR overrides this with the
+        factorized expert/gate path.  Raw logits when the model uses the
+        default public ``score_items`` (σ is monotone, and saturated
+        probabilities would collapse distinct candidates into ties),
+        the model's own score scale otherwise.
+        """
+        if type(self).score_items is GroupBuyingRecommender.score_items:
+            return self.score_items_from(emb, plan.users, plan.items, raw=True)
+        return self.score_items(plan.users, plan.items)
+
+    def _score_participant_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
+        """Score a plan's unique (u, i, p) requests → ``(P,)`` tensor."""
+        if type(self).score_participants is GroupBuyingRecommender.score_participants:
+            return self.score_participants_from(
+                emb, plan.users, plan.items, plan.participants, raw=True
+            )
+        return self.score_participants(plan.users, plan.items, plan.participants)
+
+    def score_item_plan(self, plan: ScoringPlan) -> np.ndarray:
+        """Unique-request Task-A scores for ``plan`` → ``(P,)`` float64.
+
+        Callers (the evaluation protocol's chunked runner, the serving
+        front-end) scatter the result back to their request shape with
+        :meth:`ScoringPlan.scatter`.
+        """
+        if plan.is_triple:
+            raise ValueError("item scoring got a participant (triple) plan")
+        scores = self._score_item_plan(self._bundle(), plan)
+        return np.asarray(scores.data, dtype=np.float64).ravel()
+
+    def score_participant_plan(self, plan: ScoringPlan) -> np.ndarray:
+        """Unique-request Task-B scores for ``plan`` → ``(P,)`` float64."""
+        if not plan.is_triple:
+            raise ValueError("participant scoring got an item (pair) plan")
+        scores = self._score_participant_plan(self._bundle(), plan)
+        return np.asarray(scores.data, dtype=np.float64).ravel()
+
+    def score_items_matrix(self, users, candidate_items, dedup: bool = True) -> np.ndarray:
         """Task-A *ranking* scores for per-instance candidate lists.
 
         Parameters
@@ -148,17 +208,20 @@ class GroupBuyingRecommender(Module):
         users: ``(n,)`` instance initiators.
         candidate_items: ``(n, m)`` candidate items — row ``k`` is the
             list scored for ``users[k]``.
+        dedup: plan the request first (default) — repeated (u, i) pairs
+            are scored once and scattered back; ``False`` scores every
+            flat row (the pre-plan batched path, kept for benchmarking).
 
         Returns
         -------
         np.ndarray
-            ``(n, m)`` score matrix, flattened into a single model call.
-            On the default path the values are raw logits rather than
-            σ-probabilities: the sigmoid is monotonic so ranks are
-            unchanged, but saturated probabilities (σ → exactly 1.0,
-            common under float32 inference on confident models) would
-            collapse distinct candidates into ties.  Models overriding
-            the public ``score_items`` keep their own score scale.
+            ``(n, m)`` score matrix.  On the default path the values are
+            raw logits rather than σ-probabilities: the sigmoid is
+            monotonic so ranks are unchanged, but saturated
+            probabilities (σ → exactly 1.0, common under float32
+            inference on confident models) would collapse distinct
+            candidates into ties.  Models overriding the public
+            ``score_items`` keep their own score scale.
         """
         users = np.asarray(users, dtype=np.int64)
         cands = np.asarray(candidate_items, dtype=np.int64)
@@ -166,6 +229,9 @@ class GroupBuyingRecommender(Module):
             raise ValueError(
                 f"need (n,) users and (n, m) candidates, got {users.shape}/{cands.shape}"
             )
+        if dedup:
+            plan = ScoringPlan.for_items(users, cands)
+            return plan.scatter(self.score_item_plan(plan))
         flat_users = np.repeat(users, cands.shape[1])
         if type(self).score_items is GroupBuyingRecommender.score_items:
             scores = self.score_items_from(
@@ -175,13 +241,15 @@ class GroupBuyingRecommender(Module):
             scores = self.score_items(flat_users, cands.ravel())
         return np.asarray(scores.data, dtype=np.float64).reshape(cands.shape)
 
-    def score_participants_matrix(self, users, items, candidate_participants) -> np.ndarray:
+    def score_participants_matrix(
+        self, users, items, candidate_participants, dedup: bool = True
+    ) -> np.ndarray:
         """Task-B ranking scores for per-instance candidate lists.
 
         ``users``/``items`` are ``(n,)`` instance pairs and
         ``candidate_participants`` is ``(n, m)``; returns the ``(n, m)``
-        score matrix via one flattened model call.  Same raw-logit
-        convention as :meth:`score_items_matrix`.
+        score matrix.  Same dedup and raw-logit conventions as
+        :meth:`score_items_matrix`.
         """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
@@ -191,6 +259,9 @@ class GroupBuyingRecommender(Module):
                 "need (n,) users, (n,) items and (n, m) candidates, got "
                 f"{users.shape}/{items.shape}/{cands.shape}"
             )
+        if dedup:
+            plan = ScoringPlan.for_participants(users, items, cands)
+            return plan.scatter(self.score_participant_plan(plan))
         n_list = cands.shape[1]
         flat = (np.repeat(users, n_list), np.repeat(items, n_list), cands.ravel())
         if type(self).score_participants is GroupBuyingRecommender.score_participants:

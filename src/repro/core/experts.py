@@ -61,3 +61,16 @@ class ExpertBank(Module):
             )
         outputs = [expert(gate_state) for expert in self._experts]
         return stack(outputs, axis=1)
+
+    def project_blocks(self, x: Tensor, blocks) -> Tensor:
+        """Per-entity partial bank: every expert's weight-row blocks on ``x``.
+
+        ``blocks`` selects (and sums) the rows of each expert weight that
+        multiply one segment of the concatenated gate state (see
+        :meth:`repro.nn.layers.Linear.project_blocks`).  Returns
+        ``(rows, K, d)`` — the contribution of this segment to the full
+        expert bank; the scoring plan computes it once per unique entity
+        and gathers per pair, which is where the layer-0 FLOP cut comes
+        from (Eq. 7-9 distribute over the concatenation).
+        """
+        return stack([expert.project_blocks(x, blocks) for expert in self._experts], axis=1)

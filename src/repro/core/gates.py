@@ -28,7 +28,7 @@ from typing import Optional
 from repro.nn import functional as F
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, concat, take_rows
 
 __all__ = ["GateAttention", "GenericGate", "AdjustedGate", "TaskGate", "SharedGate"]
 
@@ -46,17 +46,35 @@ class GateAttention(Module):
         self.softmax = softmax
         self.n_slots = n_slots
 
-    def forward(self, query: Tensor, bank: Tensor) -> Tensor:
-        """Attend ``query`` over ``bank`` slots."""
+    def forward(self, query: Tensor, bank: Tensor, logits: Optional[Tensor] = None) -> Tensor:
+        """Attend ``query`` over ``bank`` slots.
+
+        ``logits`` optionally supplies precomputed attention logits (the
+        factorized scoring plan assembles them from per-entity partial
+        projections, see :meth:`project_blocks`); ``query`` is then
+        ignored and may be ``None``.
+        """
         if bank.shape[1] != self.n_slots:
             raise ValueError(
                 f"bank has {bank.shape[1]} slots, attention expects {self.n_slots}"
             )
-        logits = self.proj(query)
+        if logits is None:
+            logits = self.proj(query)
         weights = F.softmax(logits, axis=-1) if self.softmax else logits
         batch = weights.shape[0]
         mixed = weights.reshape(batch, 1, self.n_slots) @ bank
         return mixed.reshape(batch, bank.shape[2])
+
+    def project_blocks(self, x: Tensor, blocks) -> Tensor:
+        """Partial attention logits from the given weight-row blocks of ``W``.
+
+        Logit projections distribute over query concatenations exactly
+        like expert weights (:meth:`repro.nn.layers.Linear
+        .project_blocks`); the planned path computes these once per
+        unique entity, gathers per pair, and feeds the summed logits back
+        through :meth:`forward`.
+        """
+        return self.proj.project_blocks(x, blocks)
 
 
 class GenericGate(Module):
@@ -66,9 +84,13 @@ class GenericGate(Module):
         super().__init__()
         self.attention = GateAttention(state_dim, n_slots, softmax=softmax, seed=seed)
 
-    def forward(self, state: Tensor, bank: Tensor) -> Tensor:
-        """``state`` is the concatenated previous gate outputs (e^l_in)."""
-        return self.attention(state, bank)
+    def forward(self, state: Tensor, bank: Tensor, logits: Optional[Tensor] = None) -> Tensor:
+        """``state`` is the concatenated previous gate outputs (e^l_in).
+
+        ``logits`` optionally carries factorized attention logits; see
+        :meth:`GateAttention.forward`.
+        """
+        return self.attention(state, bank, logits=logits)
 
 
 class AdjustedGate(Module):
@@ -85,6 +107,38 @@ class AdjustedGate(Module):
         self.head_ui = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
         self.head_ip = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
         self.head_up = GateAttention(pair_dim, n_experts, softmax=softmax, seed=seed)
+
+    def pair_logits(
+        self,
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+        user_pos,
+        item_pos,
+        part_pos,
+    ):
+        """Factorized attention logits for all three heads → ``(l_ui, l_ip, l_up)``.
+
+        ``e_u``/``e_i``/``e_p`` hold one row per *unique* entity and the
+        ``*_pos`` arrays map each unique request onto them (see
+        :class:`repro.plan.ScoringPlan`).  Each head's query is a
+        pair concatenation, so its logits split into two per-entity
+        partial projections computed once per unique entity and
+        gather-added per request — replacing a ``(rows, 4d)`` query
+        build + matmul with ``(unique, 2d)`` matmuls.
+        """
+        v = e_u.shape[-1]
+        lo, hi = [(0, v)], [(v, 2 * v)]
+        l_ui = take_rows(self.head_ui.project_blocks(e_u, lo), user_pos) + take_rows(
+            self.head_ui.project_blocks(e_i, hi), item_pos
+        )
+        l_ip = take_rows(self.head_ip.project_blocks(e_i, lo), item_pos) + take_rows(
+            self.head_ip.project_blocks(e_p, hi), part_pos
+        )
+        l_up = take_rows(self.head_up.project_blocks(e_u, lo), user_pos) + take_rows(
+            self.head_up.project_blocks(e_p, hi), part_pos
+        )
+        return l_ui, l_ip, l_up
 
     @staticmethod
     def build_pairs(e_u: Tensor, e_i: Tensor, e_p: Tensor):
@@ -110,14 +164,24 @@ class AdjustedGate(Module):
         bank_ip: Tensor,
         bank_up: Tensor,
         pairs=None,
+        logits=None,
     ) -> Tensor:
         """Sum the three pair-attention terms.
 
         Which bank each pair attends over differs between gate A and
         gate B; the caller (:class:`TaskGate`) wires them per Eq. 11/13.
         ``pairs`` optionally supplies precomputed :meth:`build_pairs`
-        output (the hot path); otherwise they are built here.
+        output (the hot path); ``logits`` optionally supplies fully
+        factorized :meth:`pair_logits` output (the planned path), in
+        which case the embeddings and pairs are not touched at all.
         """
+        if logits is not None:
+            l_ui, l_ip, l_up = logits
+            return (
+                self.head_ui(None, bank_ui, logits=l_ui)
+                + self.head_ip(None, bank_ip, logits=l_ip)
+                + self.head_up(None, bank_up, logits=l_up)
+            )
         if pairs is None:
             pairs = self.build_pairs(e_u, e_i, e_p)
         pair_ui, pair_ip, pair_up = pairs
@@ -176,12 +240,17 @@ class TaskGate(Module):
         e_i: Tensor,
         e_p: Tensor,
         pairs=None,
+        adj_logits=None,
+        generic_logits=None,
     ) -> Tensor:
         """Produce ``g^l`` for this task.
 
         ``state`` is ``g^{l-1}_task || g^{l-1}_S`` (or just the task state
         when no shared bank exists).  ``pairs`` optionally carries the
-        precomputed pair features shared across layers and towers.
+        precomputed pair features shared across layers and towers.  On
+        the planned path ``generic_logits`` / ``adj_logits`` carry
+        factorized attention logits, making ``state`` and the raw
+        embeddings unnecessary (pass ``None``).
         """
         if self.shared:
             if shared_bank is None:
@@ -189,15 +258,19 @@ class TaskGate(Module):
             generic_bank = concat([own_bank, shared_bank], axis=1)
         else:
             generic_bank = own_bank
-        out = self.generic(state, generic_bank)
+        out = self.generic(state, generic_bank, logits=generic_logits)
         if self.adjusted is not None:
             other = shared_bank if self.shared else own_bank
             if self.own_is_ui:
                 # Gate A: (u,i) -> own bank; (i,p), (u,p) -> shared bank.
-                adj = self.adjusted(e_u, e_i, e_p, own_bank, other, other, pairs=pairs)
+                adj = self.adjusted(
+                    e_u, e_i, e_p, own_bank, other, other, pairs=pairs, logits=adj_logits
+                )
             else:
                 # Gate B: (u,i) -> shared bank; (i,p), (u,p) -> own bank.
-                adj = self.adjusted(e_u, e_i, e_p, other, own_bank, own_bank, pairs=pairs)
+                adj = self.adjusted(
+                    e_u, e_i, e_p, other, own_bank, own_bank, pairs=pairs, logits=adj_logits
+                )
             out = out + self.alpha * adj
         return out
 
@@ -209,6 +282,17 @@ class SharedGate(Module):
         super().__init__()
         self.attention = GateAttention(state_dim, 3 * n_experts, softmax=softmax, seed=seed)
 
-    def forward(self, state: Tensor, bank_a: Tensor, bank_s: Tensor, bank_b: Tensor) -> Tensor:
-        """``state`` is ``g^{l-1}_A || g^{l-1}_S || g^{l-1}_B``."""
-        return self.attention(state, concat([bank_a, bank_s, bank_b], axis=1))
+    def forward(
+        self,
+        state: Tensor,
+        bank_a: Tensor,
+        bank_s: Tensor,
+        bank_b: Tensor,
+        logits: Optional[Tensor] = None,
+    ) -> Tensor:
+        """``state`` is ``g^{l-1}_A || g^{l-1}_S || g^{l-1}_B``.
+
+        ``logits`` optionally carries factorized attention logits from
+        the planned path; ``state`` may then be ``None``.
+        """
+        return self.attention(state, concat([bank_a, bank_s, bank_b], axis=1), logits=logits)

@@ -27,6 +27,7 @@ from repro.core.prediction import PredictionHead
 from repro.core.views import HINEmbedding, MultiViewEmbedding
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, take_rows, zeros
+from repro.plan import ScoringPlan
 from repro.utils.rng import SeedLike, spawn_rngs
 
 __all__ = ["MGBR"]
@@ -107,8 +108,8 @@ class MGBR(GroupBuyingRecommender):
         e_u = take_rows(emb.user, users)
         e_i = take_rows(emb.item, items)
         if participants is None:
-            mean_p = emb.participant.mean(axis=0, keepdims=True)  # (1, 2d)
-            e_p = mean_p + zeros(len(users), 1)                   # broadcast to batch
+            mean_p = emb.mean_participant()       # (1, 2d), cached per bundle
+            e_p = mean_p + zeros(len(users), 1)   # broadcast to batch
         else:
             e_p = take_rows(emb.participant, np.asarray(participants, dtype=np.int64))
         return self.mtl(e_u, e_i, e_p)
@@ -146,6 +147,38 @@ class MGBR(GroupBuyingRecommender):
         _, g_b = self._gates(emb, users, items, participants)
         logits = self.head_b(g_b)
         return logits if raw else F.sigmoid(logits)
+
+    # ------------------------------------------------------------------
+    # Planned (deduplicated + factorized) scoring
+    # ------------------------------------------------------------------
+    def _score_item_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
+        """Task-A raw logits for a plan's unique (u, i) requests.
+
+        Runs the factorized expert/gate stack
+        (:meth:`repro.core.mtl.MultiTaskModule.forward_planned`): layer-0
+        partial projections are computed once per unique user / unique
+        candidate item, and Task A's averaged participant slot is a
+        single shared row — the broadcast ``e_p`` of the dense path
+        collapses to one entity.
+        """
+        e_u = take_rows(emb.user, plan.unique_users)
+        e_i = take_rows(emb.item, plan.unique_items)
+        mean_p = emb.mean_participant()  # (1, 2d), cached across chunks
+        part_pos = np.zeros(plan.n_pairs, dtype=np.int64)
+        g_a, _ = self.mtl.forward_planned(
+            e_u, e_i, mean_p, plan.user_pos, plan.item_pos, part_pos
+        )
+        return self.head_a(g_a)
+
+    def _score_participant_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
+        """Task-B raw logits for a plan's unique (u, i, p) requests."""
+        e_u = take_rows(emb.user, plan.unique_users)
+        e_i = take_rows(emb.item, plan.unique_items)
+        e_p = take_rows(emb.participant, plan.unique_participants)
+        _, g_b = self.mtl.forward_planned(
+            e_u, e_i, e_p, plan.user_pos, plan.item_pos, plan.part_pos
+        )
+        return self.head_b(g_b)
 
     # ------------------------------------------------------------------
     # Capabilities

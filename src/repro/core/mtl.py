@@ -27,7 +27,7 @@ from repro.core.config import MGBRConfig
 from repro.core.experts import ExpertBank
 from repro.core.gates import AdjustedGate, SharedGate, TaskGate
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, concat, take_rows
 from repro.utils.rng import SeedLike, spawn_rngs
 
 __all__ = ["MTLLayer", "MultiTaskModule"]
@@ -102,6 +102,7 @@ class MTLLayer(Module):
         e_i: Tensor,
         e_p: Tensor,
         pairs=None,
+        adj_logits=None,
     ) -> Tuple[Tensor, Optional[Tensor], Tensor]:
         """Advance the gate states one layer.
 
@@ -109,7 +110,11 @@ class MTLLayer(Module):
         ``pairs`` optionally carries the precomputed pair features (see
         :meth:`repro.core.gates.AdjustedGate.build_pairs`) so the stack
         concatenates them once instead of per gate per layer.
+        ``adj_logits`` optionally carries the two gates' factorized
+        adjusted-gate logit triples ``(logits_a, logits_b)`` (the planned
+        path); the raw embeddings are then unused and may be ``None``.
         """
+        la, lb = adj_logits if adj_logits is not None else (None, None)
         if self.shared:
             if self.compact_input:
                 state_a = g_a
@@ -122,15 +127,97 @@ class MTLLayer(Module):
             bank_a = self.experts_a(state_a)
             bank_b = self.experts_b(state_b)
             bank_s = self.experts_s(state_s)
-            new_a = self.gate_a(state_a, bank_a, bank_s, e_u, e_i, e_p, pairs=pairs)
-            new_b = self.gate_b(state_b, bank_b, bank_s, e_u, e_i, e_p, pairs=pairs)
+            new_a = self.gate_a(state_a, bank_a, bank_s, e_u, e_i, e_p, pairs=pairs, adj_logits=la)
+            new_b = self.gate_b(state_b, bank_b, bank_s, e_u, e_i, e_p, pairs=pairs, adj_logits=lb)
             new_s = self.gate_s(state_s, bank_a, bank_s, bank_b)
             return new_a, new_s, new_b
 
         bank_a = self.experts_a(g_a)
         bank_b = self.experts_b(g_b)
-        new_a = self.gate_a(g_a, bank_a, None, e_u, e_i, e_p, pairs=pairs)
-        new_b = self.gate_b(g_b, bank_b, None, e_u, e_i, e_p, pairs=pairs)
+        new_a = self.gate_a(g_a, bank_a, None, e_u, e_i, e_p, pairs=pairs, adj_logits=la)
+        new_b = self.gate_b(g_b, bank_b, None, e_u, e_i, e_p, pairs=pairs, adj_logits=lb)
+        return new_a, None, new_b
+
+    # ------------------------------------------------------------------
+    # Factorized layer-0 (planned scoring path)
+    # ------------------------------------------------------------------
+    def _entity_blocks(self, view_dim: int, entity: int, folds: int):
+        """Weight-row blocks one entity occupies in the concat gate state.
+
+        The layer-0 state is ``folds`` copies of ``g⁰ = e_u||e_i||e_p``;
+        entity ``j``'s segment sits at offset ``j·view_dim`` inside each
+        copy.  Folding the copies sums their weight blocks, which is
+        exactly what the duplicated concatenation computes.
+        """
+        triple = 3 * view_dim
+        off = entity * view_dim
+        return [(f * triple + off, f * triple + off + view_dim) for f in range(folds)]
+
+    def forward_planned_first(
+        self,
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+        user_pos,
+        item_pos,
+        part_pos,
+        adj_logits=None,
+    ) -> Tuple[Tensor, Optional[Tensor], Tensor]:
+        """Layer-0 forward with ``g⁰`` factorized over unique entities.
+
+        ``e_u``/``e_i``/``e_p`` hold one row per *unique* entity of a
+        :class:`repro.plan.ScoringPlan`; the ``*_pos`` arrays map
+        each unique request onto them.  Every layer-0 linear (expert and
+        generic-gate, Eq. 7-10/14) reads a concatenation of ``g⁰``
+        copies, so ``W·[e_u; e_i; e_p] = W_u·e_u + W_i·e_i + W_p·e_p``
+        distributes into per-entity partial projections computed once
+        per unique entity and gather-added per request — the FLOP cut
+        that makes candidate-matrix scoring cheap.
+        """
+        if self.compact_input:
+            folds_task, folds_shared = 1, 1
+        elif self.shared:
+            folds_task, folds_shared = 2, 3
+        else:
+            folds_task, folds_shared = 1, 0
+        v = e_u.shape[-1]
+        blocks_task = [self._entity_blocks(v, j, folds_task) for j in range(3)]
+
+        def per_pair(project, blocks):
+            """Partial-project each entity table, then gather-add per request."""
+            return (
+                take_rows(project(e_u, blocks[0]), user_pos)
+                + take_rows(project(e_i, blocks[1]), item_pos)
+                + take_rows(project(e_p, blocks[2]), part_pos)
+            )
+
+        bank_a = per_pair(self.experts_a.project_blocks, blocks_task)
+        bank_b = per_pair(self.experts_b.project_blocks, blocks_task)
+        logits_a = per_pair(self.gate_a.generic.attention.project_blocks, blocks_task)
+        logits_b = per_pair(self.gate_b.generic.attention.project_blocks, blocks_task)
+        la, lb = adj_logits if adj_logits is not None else (None, None)
+        if self.shared:
+            blocks_shared = [self._entity_blocks(v, j, folds_shared) for j in range(3)]
+            bank_s = per_pair(self.experts_s.project_blocks, blocks_shared)
+            logits_s = per_pair(self.gate_s.attention.project_blocks, blocks_shared)
+            new_a = self.gate_a(
+                None, bank_a, bank_s, None, None, None,
+                adj_logits=la, generic_logits=logits_a,
+            )
+            new_b = self.gate_b(
+                None, bank_b, bank_s, None, None, None,
+                adj_logits=lb, generic_logits=logits_b,
+            )
+            new_s = self.gate_s(None, bank_a, bank_s, bank_b, logits=logits_s)
+            return new_a, new_s, new_b
+        new_a = self.gate_a(
+            None, bank_a, None, None, None, None,
+            adj_logits=la, generic_logits=logits_a,
+        )
+        new_b = self.gate_b(
+            None, bank_b, None, None, None, None,
+            adj_logits=lb, generic_logits=logits_b,
+        )
         return new_a, None, new_b
 
 
@@ -192,4 +279,46 @@ class MultiTaskModule(Module):
             pairs = AdjustedGate.build_pairs(e_u, e_i, e_p)
         for layer in self._layers:
             g_a, g_s, g_b = layer(g_a, g_s, g_b, e_u, e_i, e_p, pairs=pairs)
+        return g_a, g_b
+
+    def forward_planned(
+        self,
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+        user_pos,
+        item_pos,
+        part_pos,
+    ) -> Tuple[Tensor, Tensor]:
+        """Run the stack over a deduplicated scoring plan.
+
+        Inputs are *unique-entity* embedding rows plus the per-request
+        gather maps of a :class:`repro.plan.ScoringPlan` (Task A
+        passes the single mean-participant row with an all-zero
+        ``part_pos``).  Layer 0 — the bulk of the stack's FLOPs, its
+        linears being 6d/12d/18d wide — runs factorized per unique
+        entity (:meth:`MTLLayer.forward_planned_first`), and every
+        adjusted gate's pair logits are likewise assembled from
+        per-entity partials, so no ``(requests, 4d)`` pair feature is
+        ever materialised.  Later layers run densely over the unique
+        requests, which the plan has already collapsed.  Returns
+        ``(g^L_A, g^L_B)`` with one row per unique request; numerically
+        this matches :meth:`forward` up to float re-association.
+        """
+        adj_logits = []
+        for layer in self._layers:
+            logits_for = lambda gate: (
+                gate.adjusted.pair_logits(e_u, e_i, e_p, user_pos, item_pos, part_pos)
+                if gate.adjusted is not None
+                else None
+            )
+            adj_logits.append((logits_for(layer.gate_a), logits_for(layer.gate_b)))
+        first = self._layers[0]
+        g_a, g_s, g_b = first.forward_planned_first(
+            e_u, e_i, e_p, user_pos, item_pos, part_pos, adj_logits=adj_logits[0]
+        )
+        for layer, logits in zip(self._layers[1:], adj_logits[1:]):
+            g_a, g_s, g_b = layer(
+                g_a, g_s, g_b, None, None, None, adj_logits=logits
+            )
         return g_a, g_b

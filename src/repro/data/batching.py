@@ -44,10 +44,16 @@ def iter_task_a_batches(
     drop_last: bool = False,
     seed: SeedLike = None,
 ) -> Iterator[Dict[str, np.ndarray]]:
-    """Yield ``{"users", "items", "group_index"}`` batches of Task-A pairs."""
+    """Yield ``{"index", "users", "items", "group_index"}`` Task-A batches.
+
+    ``index`` carries each row's position in ``samples`` so per-row
+    precomputed state (e.g. a :class:`repro.data.negative.NegativePool`)
+    can be gathered for the batch.
+    """
     rng = as_rng(seed)
     for idx in _iter_index_batches(len(samples), batch_size, rng, shuffle, drop_last):
         yield {
+            "index": idx,
             "users": samples.users[idx],
             "items": samples.items[idx],
             "group_index": samples.group_index[idx],
@@ -61,10 +67,11 @@ def iter_task_b_batches(
     drop_last: bool = False,
     seed: SeedLike = None,
 ) -> Iterator[Dict[str, np.ndarray]]:
-    """Yield ``{"users", "items", "participants", "group_index"}`` batches."""
+    """Yield ``{"index", "users", "items", "participants", "group_index"}`` batches."""
     rng = as_rng(seed)
     for idx in _iter_index_batches(len(samples), batch_size, rng, shuffle, drop_last):
         yield {
+            "index": idx,
             "users": samples.users[idx],
             "items": samples.items[idx],
             "participants": samples.participants[idx],

@@ -25,6 +25,21 @@ of magnitude faster than the historical per-instance loop, which is kept
 as :meth:`EvalProtocol.run_per_instance` for parity testing and
 throughput benchmarking.
 
+Planned scoring (dedup)
+-----------------------
+With ``dedup=True`` (the default) each task's flattened request is first
+compiled into a :class:`repro.plan.ScoringPlan`: repeated (u, i) /
+(u, i, p) requests collapse onto unique pairs *globally* (dedup sees the
+whole instance set, not one chunk), the model scores ``chunk_size``-row
+windows of unique pairs via ``score_item_plan`` /
+``score_participant_plan``, and one scatter rebuilds the full score
+matrix.  Models inherit pair dedup from
+:class:`repro.baselines.base.GroupBuyingRecommender`; MGBR additionally
+runs its factorized expert/gate stack per plan, cutting the layer-0
+FLOPs that dominate 1:99 lists.  ``dedup=False`` keeps the pre-plan flat
+path for benchmarking.  Duplicate requests receive bit-equal scores on
+both paths, so ties (and therefore metrics) are unaffected.
+
 Scoring convention: the batched path ranks *raw logits* (see
 :meth:`repro.baselines.base.GroupBuyingRecommender.score_items_matrix`),
 which orders candidates identically to σ-probabilities except where the
@@ -57,6 +72,7 @@ from repro.data.samples import extract_task_a, extract_task_b
 from repro.data.schema import GroupBuyingDataset
 from repro.eval.metrics import RankingAccumulator, rank_of_positive, ranks_of_positives
 from repro.nn.tensor import dtype_scope, no_grad
+from repro.plan import ScoringPlan
 from repro.utils.rng import SeedLike
 
 __all__ = ["EvalProtocol", "EvalResult", "evaluate_model"]
@@ -90,10 +106,13 @@ class EvalProtocol:
     split: which split supplies the positive instances.
     max_instances: optional cap (benchmarks subsample for speed).
     chunk_size: target number of flattened (instance × candidate) rows
-        per model call on the batched path; chunks always cover whole
-        instances.
+        (``dedup=False``) or unique planned requests (``dedup=True``)
+        per model call on the batched path.
     dtype: scoring precision — ``"float64"`` (exact) or ``"float32"``
         (inference fast path; see the module docstring).
+    dedup: compile each task's request into a :class:`ScoringPlan`
+        first (see the module docstring); ``False`` scores every flat
+        row the pre-plan way.
     """
 
     dataset: GroupBuyingDataset
@@ -104,6 +123,7 @@ class EvalProtocol:
     max_instances: Optional[int] = None
     chunk_size: int = 4096
     dtype: str = "float64"
+    dedup: bool = True
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -182,19 +202,42 @@ class EvalProtocol:
         for start in range(0, n_instances, per_chunk):
             yield slice(start, min(start + per_chunk, n_instances))
 
+    def _run_plan(self, plan, score_chunk) -> np.ndarray:
+        """Score a global plan's unique requests in ``chunk_size`` windows.
+
+        Chunking over *unique pairs* (rather than flat rows) keeps every
+        model call bounded while dedup stays global; each window is a
+        sub-plan whose entity gather maps are rebuilt locally.
+        """
+        unique = np.empty(plan.n_pairs, dtype=np.float64)
+        for start in range(0, plan.n_pairs, self.chunk_size):
+            window = slice(start, min(start + self.chunk_size, plan.n_pairs))
+            unique[window] = score_chunk(plan.pair_slice(window))
+        return plan.scatter(unique)
+
     def _score_task_a(self, model, lists) -> np.ndarray:
         users, cands = lists["users"], lists["candidates"]
+        if self.dedup and hasattr(model, "score_item_plan"):
+            plan = ScoringPlan.for_items(users, cands)
+            return self._run_plan(plan, model.score_item_plan)
+        # Plan-capable models get an explicit dedup=False (the pre-plan
+        # flat path); duck-typed models keep their own signature.
+        kwargs = {"dedup": False} if hasattr(model, "score_item_plan") else {}
         out = np.empty(cands.shape, dtype=np.float64)
         for chunk in self._instance_chunks(len(users), cands.shape[1]):
-            out[chunk] = model.score_items_matrix(users[chunk], cands[chunk])
+            out[chunk] = model.score_items_matrix(users[chunk], cands[chunk], **kwargs)
         return out
 
     def _score_task_b(self, model, lists) -> np.ndarray:
         users, items, cands = lists["users"], lists["items"], lists["candidates"]
+        if self.dedup and hasattr(model, "score_participant_plan"):
+            plan = ScoringPlan.for_participants(users, items, cands)
+            return self._run_plan(plan, model.score_participant_plan)
+        kwargs = {"dedup": False} if hasattr(model, "score_participant_plan") else {}
         out = np.empty(cands.shape, dtype=np.float64)
         for chunk in self._instance_chunks(len(users), cands.shape[1]):
             out[chunk] = model.score_participants_matrix(
-                users[chunk], items[chunk], cands[chunk]
+                users[chunk], items[chunk], cands[chunk], **kwargs
             )
         return out
 
@@ -281,11 +324,12 @@ def evaluate_model(
     max_instances: Optional[int] = None,
     chunk_size: int = 4096,
     dtype: str = "float64",
+    dedup: bool = True,
 ) -> Dict[str, EvalResult]:
     """Run the paper's two standard protocols and key results by cutoff.
 
-    Returns e.g. ``{"@10": EvalResult, "@100": EvalResult}``.  ``dtype``
-    and ``chunk_size`` forward to :class:`EvalProtocol`.
+    Returns e.g. ``{"@10": EvalResult, "@100": EvalResult}``.  ``dtype``,
+    ``chunk_size`` and ``dedup`` forward to :class:`EvalProtocol`.
     """
     out: Dict[str, EvalResult] = {}
     for n_neg, cutoff in protocols:
@@ -298,6 +342,7 @@ def evaluate_model(
             max_instances=max_instances,
             chunk_size=chunk_size,
             dtype=dtype,
+            dedup=dedup,
         )
         out[f"@{cutoff}"] = protocol.run(model)
     return out

@@ -90,6 +90,39 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def project_blocks(self, x: Tensor, blocks: Sequence[Sequence[int]]) -> Tensor:
+        """Apply the *sum* of weight-row blocks to ``x`` — a partial map.
+
+        When this layer's input is a concatenation ``[a; b; c]`` (possibly
+        with repeated segments), ``x W = a W_a + b W_b + c W_c`` where
+        ``W_s`` are row blocks of ``W``.  ``project_blocks(a, [(s, e)])``
+        computes one such per-segment partial projection; passing several
+        ``(start, stop)`` blocks folds segments that receive the *same*
+        input (e.g. the duplicated ``g⁰ || g⁰`` layer-0 gate state) into
+        a single matmul.  The factorized scoring plan computes these
+        partials once per unique entity instead of once per flat request
+        row.  Only valid for bias-free layers — a bias cannot be split
+        across partial sums unambiguously.
+        """
+        if self.bias is not None:
+            raise ValueError("project_blocks() requires a bias-free Linear")
+        if not blocks:
+            raise ValueError("project_blocks() needs at least one (start, stop) block")
+        widths = {stop - start for start, stop in blocks}
+        if len(widths) != 1 or widths != {x.shape[-1]}:
+            # Checked up front: Tensor addition broadcasts, so unequal
+            # blocks would otherwise sum into a wrong (but well-shaped)
+            # partial projection instead of failing.
+            raise ValueError(
+                f"block widths {sorted(stop - start for start, stop in blocks)} "
+                f"must all equal the input width {x.shape[-1]}"
+            )
+        start, stop = blocks[0]
+        weight = self.weight[start:stop]
+        for start, stop in blocks[1:]:
+            weight = weight + self.weight[start:stop]
+        return x @ weight
+
 
 class Embedding(Module):
     """Learnable lookup table ``(num_embeddings, dim)``.

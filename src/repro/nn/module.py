@@ -109,8 +109,18 @@ class Module:
         """Copy all parameters into a flat ``name -> array`` mapping."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
-        """Load values produced by :meth:`state_dict` back into parameters."""
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], strict: bool = True, dtype=None
+    ) -> None:
+        """Load values produced by :meth:`state_dict` back into parameters.
+
+        ``dtype=None`` assigns into the existing buffers (values are cast
+        to each parameter's own dtype, the training-safe default).  An
+        explicit ``dtype`` instead *rebinds* every loaded parameter's
+        buffer to that precision — the float32 serving path of
+        :func:`repro.training.checkpoint.restore_model`; gradients then
+        also accumulate in that dtype, so only use it for inference.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -125,7 +135,14 @@ class Module:
                         f"shape mismatch for {name}: "
                         f"{own[name].data.shape} vs {values.shape}"
                     )
-                own[name].data[...] = values
+                if dtype is None:
+                    own[name].data[...] = values
+                else:
+                    # np.array (not asarray): always copy, so the rebound
+                    # buffer never aliases the caller's state dict or a
+                    # sibling model loaded from the same checkpoint.
+                    own[name].data = np.array(values, dtype=dtype)
+                    own[name].grad = None
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -1,0 +1,10 @@
+"""``repro.serving`` — request-batching front-end over planned scoring.
+
+Coalesces incoming (user, candidates) scoring requests into one
+:class:`repro.plan.ScoringPlan` per task and scatters the scores back to
+each caller; see :mod:`repro.serving.frontend`.
+"""
+
+from repro.serving.frontend import PendingScores, RequestBatcher
+
+__all__ = ["RequestBatcher", "PendingScores"]

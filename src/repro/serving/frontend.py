@@ -1,0 +1,253 @@
+"""Request-batching serving front-end over the planned scoring path.
+
+Serving traffic arrives as many small, overlapping requests — "score
+these 100 candidate items for user *u*" — and the ROADMAP's async
+serving item needs them coalesced before they hit the model.  The
+:class:`RequestBatcher` here is that front-end, synchronous by design so
+an async wrapper can later own the clock:
+
+1. ``submit_items`` / ``submit_participants`` enqueue a request and
+   return a :class:`PendingScores` ticket immediately;
+2. ``flush`` compiles *all* pending requests of a task into one
+   :class:`repro.plan.ScoringPlan` — cross-request duplicate (u, i) /
+   (u, i, p) pairs are scored once, and the factorized models compute
+   per-entity work once per unique entity — runs a single planned model
+   call under ``no_grad`` (optionally float32), and scatters the score
+   vector back onto every ticket;
+3. reading ``PendingScores.scores`` before a flush triggers one
+   automatically, so the front-end is safe to use one request at a time
+   (it just stops being fast).
+
+The model's encoder cache (``refresh_cache``) is reused across flushes;
+call :meth:`RequestBatcher.refresh` after swapping weights (e.g. via
+:func:`repro.training.checkpoint.restore_model`, which can hand serving
+float32 weights directly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import dtype_scope, no_grad
+from repro.plan import ScoringPlan
+
+__all__ = ["PendingScores", "RequestBatcher"]
+
+
+class PendingScores:
+    """A ticket for one submitted request; resolves at the next flush."""
+
+    __slots__ = ("_batcher", "_scores")
+
+    def __init__(self, batcher: "RequestBatcher") -> None:
+        self._batcher = batcher
+        self._scores: Optional[np.ndarray] = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether the owning batcher has flushed this request yet."""
+        return self._scores is not None
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The request's score vector (flushes the batcher if pending).
+
+        Raises ``RuntimeError`` if the ticket is still unresolved after
+        flushing — that happens when an earlier flush failed mid-batch
+        (e.g. an out-of-range id aborted the model call) and dropped its
+        queue; resubmit the request rather than chasing a ``None``.
+        """
+        if self._scores is None:
+            self._batcher.flush()
+        if self._scores is None:
+            raise RuntimeError(
+                "scoring ticket was never resolved — a previous flush "
+                "failed and dropped its batch; resubmit the request"
+            )
+        return self._scores
+
+    def _resolve(self, scores: np.ndarray) -> None:
+        self._scores = scores
+
+
+class RequestBatcher:
+    """Coalesces scoring requests into planned matrix calls.
+
+    Parameters
+    ----------
+    model: any :class:`repro.baselines.base.GroupBuyingRecommender`
+        (``score_item_plan`` / ``score_participant_plan`` providers).
+    dtype: scoring precision; ``"float32"`` opts into the substrate's
+        inference fast path (pair well with a float32 checkpoint).
+    max_pending: flat request rows per task after which a submit
+        triggers an automatic flush — bounds both latency and the size
+        of a planned call.
+    """
+
+    def __init__(self, model, dtype: str = "float64", max_pending: int = 65536) -> None:
+        if dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be float32|float64, got {dtype!r}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.model = model
+        self.dtype = dtype
+        self.max_pending = max_pending
+        self._items: List[tuple] = []          # (user, candidates, ticket)
+        self._participants: List[tuple] = []   # (user, item, candidates, ticket)
+        self._pending_rows = {"items": 0, "participants": 0}
+        self.stats = {
+            "requests": 0,
+            "flushes": 0,
+            "flat_rows": 0,
+            "unique_pairs": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _check_ids(self, kind: str, ids, bound_attr: str) -> None:
+        """Reject out-of-range ids at submit time.
+
+        A malformed id that only exploded inside ``flush`` would orphan
+        every co-batched ticket (the queue is swapped out before the
+        model call); validating here keeps one bad request from
+        poisoning its neighbours' flush.
+        """
+        bound = getattr(self.model, bound_attr, None)
+        ids = np.asarray(ids)
+        low = int(ids.min()) if ids.size else 0
+        high = int(ids.max()) if ids.size else -1
+        if low < 0 or (bound is not None and high >= bound):
+            raise ValueError(
+                f"{kind} ids must lie in [0, {bound}), got range [{low}, {high}]"
+            )
+
+    def submit_items(self, user: int, candidate_items: Sequence[int]) -> PendingScores:
+        """Queue a Task-A request: rank ``candidate_items`` for ``user``."""
+        candidates = np.asarray(candidate_items, dtype=np.int64).ravel()
+        if candidates.size == 0:
+            raise ValueError("a scoring request needs at least one candidate")
+        self._check_ids("user", [user], "n_users")
+        self._check_ids("item", candidates, "n_items")
+        ticket = PendingScores(self)
+        self._items.append((int(user), candidates, ticket))
+        self._track_submit("items", candidates.size)
+        return ticket
+
+    def submit_participants(
+        self, user: int, item: int, candidate_users: Sequence[int]
+    ) -> PendingScores:
+        """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``."""
+        candidates = np.asarray(candidate_users, dtype=np.int64).ravel()
+        if candidates.size == 0:
+            raise ValueError("a scoring request needs at least one candidate")
+        self._check_ids("user", [user], "n_users")
+        self._check_ids("item", [item], "n_items")
+        self._check_ids("participant", candidates, "n_users")
+        ticket = PendingScores(self)
+        self._participants.append((int(user), int(item), candidates, ticket))
+        self._track_submit("participants", candidates.size)
+        return ticket
+
+    def _track_submit(self, task: str, rows: int) -> None:
+        self.stats["requests"] += 1
+        self._pending_rows[task] += rows
+        if self._pending_rows[task] >= self.max_pending:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Score every pending request in one planned call per task."""
+        if not self._items and not self._participants:
+            return
+        self.stats["flushes"] += 1
+        # Unlike the evaluation protocol, the cached encoder pass is
+        # deliberately kept across flushes (recomputing it per flush
+        # would defeat serving): under float32 the model therefore holds
+        # a reduced-precision cache for as long as it serves — hand the
+        # model back to training/analysis via :meth:`release`.
+        was_training = getattr(self.model, "training", False)
+        if was_training:
+            # Serve in eval mode (no dropout etc.), like EvalProtocol.run.
+            self.model.eval()
+        try:
+            with no_grad(), dtype_scope(self.dtype):
+                if self._items:
+                    self._flush_items()
+                if self._participants:
+                    self._flush_participants()
+        finally:
+            if was_training:
+                self.model.train()
+
+    def _flush_items(self) -> None:
+        requests, self._items = self._items, []
+        self._pending_rows["items"] = 0
+        users = np.concatenate(
+            [np.full(len(cands), user, dtype=np.int64) for user, cands, _ in requests]
+        )
+        items = np.concatenate([cands for _, cands, _ in requests])
+        plan = ScoringPlan.from_item_pairs(users, items)
+        self._scatter(plan, self.model.score_item_plan(plan),
+                      [(len(cands), ticket) for _, cands, ticket in requests])
+
+    def _flush_participants(self) -> None:
+        requests, self._participants = self._participants, []
+        self._pending_rows["participants"] = 0
+        users = np.concatenate(
+            [np.full(len(c), user, dtype=np.int64) for user, _, c, _ in requests]
+        )
+        items = np.concatenate(
+            [np.full(len(c), item, dtype=np.int64) for _, item, c, _ in requests]
+        )
+        participants = np.concatenate([c for _, _, c, _ in requests])
+        plan = ScoringPlan.from_triples(users, items, participants)
+        self._scatter(plan, self.model.score_participant_plan(plan),
+                      [(len(c), ticket) for _, _, c, ticket in requests])
+
+    def _scatter(self, plan: ScoringPlan, unique_scores, sizes_and_tickets) -> None:
+        self.stats["flat_rows"] += plan.n_flat
+        self.stats["unique_pairs"] += plan.n_pairs
+        flat = plan.scatter(unique_scores)
+        offset = 0
+        for size, ticket in sizes_and_tickets:
+            # copy: a slice view would pin the whole flush's array alive
+            # for as long as any one ticket is retained (and let callers
+            # write through into their neighbours' scores).
+            ticket._resolve(flat[offset : offset + size].copy())
+            offset += size
+
+    # ------------------------------------------------------------------
+    # Convenience / lifecycle
+    # ------------------------------------------------------------------
+    def score_items(self, user: int, candidate_items: Sequence[int]) -> np.ndarray:
+        """Submit-and-flush shorthand for a single Task-A request."""
+        return self.submit_items(user, candidate_items).scores
+
+    def score_participants(
+        self, user: int, item: int, candidate_users: Sequence[int]
+    ) -> np.ndarray:
+        """Submit-and-flush shorthand for a single Task-B request."""
+        return self.submit_participants(user, item, candidate_users).scores
+
+    def refresh(self) -> None:
+        """Re-run the encoder after a weight update (checkpoint swap)."""
+        if hasattr(self.model, "invalidate_cache"):
+            self.model.invalidate_cache()
+        with no_grad(), dtype_scope(self.dtype):
+            if hasattr(self.model, "refresh_cache"):
+                self.model.refresh_cache()
+
+    def release(self) -> None:
+        """Flush remaining requests and drop the model's serving cache.
+
+        Call before handing the model back to training or analysis code
+        so no reduced-precision encoder pass leaks out of serving.
+        """
+        self.flush()
+        if hasattr(self.model, "invalidate_cache"):
+            self.model.invalidate_cache()

@@ -4,6 +4,19 @@ Checkpoints hold the flat parameter state-dict plus a small JSON header
 (model class name, step counter), enough to restore a model built with
 the same constructor arguments — matching how the sweep benchmarks
 retrain-and-restore best epochs.
+
+Dtype policy
+------------
+Training state is float64 (the substrate pins :class:`repro.nn.module
+.Parameter` to double precision), but serving wants float32 end-to-end:
+``save_checkpoint(..., dtype="float32")`` exports a half-size archive,
+and ``restore_model(..., dtype="float32")`` rebinds the model's
+parameter buffers to float32 so a serving process (e.g. one feeding a
+:class:`repro.serving.RequestBatcher`) never materialises double
+precision weights at all.  The stored dtype is recorded in the metadata
+header; loading with no explicit ``dtype`` keeps the model's own
+parameter dtype (values are cast on assignment), so training round-trips
+are unchanged.
 """
 
 from __future__ import annotations
@@ -23,13 +36,34 @@ PathLike = Union[str, Path]
 _META_KEY = "__checkpoint_meta__"
 
 
-def save_checkpoint(model: Module, path: PathLike, extra: Optional[Dict] = None) -> Path:
-    """Write ``model``'s parameters (and optional metadata) to ``path``."""
+def _coerce_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"checkpoint dtype must be float32|float64, got {dtype!r}")
+    return resolved
+
+
+def save_checkpoint(
+    model: Module,
+    path: PathLike,
+    extra: Optional[Dict] = None,
+    dtype: Optional[str] = None,
+) -> Path:
+    """Write ``model``'s parameters (and optional metadata) to ``path``.
+
+    ``dtype`` optionally casts every array on export (``"float32"``
+    halves the archive and lets serving load reduced precision
+    directly); ``None`` stores parameters as they are.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    meta = {"model_class": type(model).__name__, "extra": extra or {}}
     payload = dict(model.state_dict())
+    if dtype is not None:
+        resolved = _coerce_dtype(dtype)
+        payload = {k: np.asarray(v, dtype=resolved) for k, v in payload.items()}
+    stored = str(next(iter(payload.values())).dtype) if payload else "float64"
+    meta = {"model_class": type(model).__name__, "dtype": stored, "extra": extra or {}}
     payload[_META_KEY] = np.bytes_(json.dumps(meta).encode())
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **payload)
@@ -37,18 +71,35 @@ def save_checkpoint(model: Module, path: PathLike, extra: Optional[Dict] = None)
 
 
 def load_checkpoint(path: PathLike) -> Dict:
-    """Read a checkpoint into ``{"state": {...}, "meta": {...}}``."""
+    """Read a checkpoint into ``{"state": {...}, "meta": {...}}``.
+
+    Arrays come back in their stored dtype; ``meta["dtype"]`` names it
+    (older checkpoints without the field were float64).
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(".npz").exists():
         path = path.with_suffix(".npz")
     with np.load(path, allow_pickle=False) as archive:
         meta = json.loads(bytes(archive[_META_KEY]).decode())
         state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    meta.setdefault("dtype", "float64")
     return {"state": state, "meta": meta}
 
 
-def restore_model(model: Module, path: PathLike, strict: bool = True) -> Dict:
+def restore_model(
+    model: Module,
+    path: PathLike,
+    strict: bool = True,
+    dtype: Optional[str] = None,
+) -> Dict:
     """Load a checkpoint's parameters into ``model``; returns the metadata.
+
+    ``dtype=None`` (default) assigns values into the model's existing
+    parameter buffers — training keeps its float64 state regardless of
+    how the archive was stored.  An explicit ``dtype`` *rebinds* the
+    parameter buffers to that precision (the float32 serving path); such
+    a model should only be used under ``no_grad``/serving scopes, not
+    trained or gradchecked.
 
     Raises ``ValueError`` when the checkpoint came from a different model
     class (unless ``strict=False``).
@@ -59,7 +110,8 @@ def restore_model(model: Module, path: PathLike, strict: bool = True) -> Dict:
             f"checkpoint is for {payload['meta']['model_class']}, "
             f"refusing to load into {type(model).__name__}"
         )
-    model.load_state_dict(payload["state"], strict=strict)
+    resolved = None if dtype is None else _coerce_dtype(dtype)
+    model.load_state_dict(payload["state"], strict=strict, dtype=resolved)
     if hasattr(model, "invalidate_cache"):
         model.invalidate_cache()
     return payload["meta"]

@@ -52,6 +52,11 @@ class TrainConfig:
     batch_size: int = 64
     learning_rate: float = 2e-4
     train_negatives: int = 9
+    negative_pool_size: int = 0  # >0 pre-samples that many negatives per
+                                 # training row once and rotates through
+                                 # them across epochs (ROADMAP
+                                 # training-path batching); 0 keeps the
+                                 # per-step rejection-sampling default
     beta: float = 1.0
     beta_a: float = 0.3
     beta_b: float = 0.3
@@ -120,6 +125,21 @@ class Trainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self.history = History()
         self._epoch = 0
+        self._pool_a = self._pool_b = None
+        if self.config.negative_pool_size > 0:
+            if self.config.negative_pool_size < self.config.train_negatives:
+                raise ValueError(
+                    f"negative_pool_size {self.config.negative_pool_size} < "
+                    f"train_negatives {self.config.train_negatives}"
+                )
+            # One rejection-sampling pass per task for the whole run; the
+            # per-step draws below become pool gathers.
+            self._pool_a = self.sampler.build_item_pool(
+                self.task_a.users, self.config.negative_pool_size
+            )
+            self._pool_b = self.sampler.build_participant_pool(
+                self.task_b.users, self.task_b.items, self.config.negative_pool_size
+            )
         self._validation_protocol: Optional[EvalProtocol] = None
         if self.config.eval_every and dataset.validation:
             self._validation_protocol = EvalProtocol(
@@ -160,7 +180,12 @@ class Trainer:
         # --- Task A (Eq. 19, L_A) -------------------------------------
         users_a, items_a = batch_a["users"], batch_a["items"]
         pos_a = model.score_items_from(emb, users_a, items_a, raw=True)
-        neg_items = self.sampler.sample_items_batch(users_a, cfg.train_negatives)
+        if self._pool_a is not None:
+            neg_items = self._pool_a.draw(
+                batch_a["index"], cfg.train_negatives, epoch=self._epoch
+            )
+        else:
+            neg_items = self.sampler.sample_items_batch(users_a, cfg.train_negatives)
         neg_a = model.score_items_from(
             emb,
             np.repeat(users_a, cfg.train_negatives),
@@ -176,9 +201,14 @@ class Trainer:
             batch_b["participants"],
         )
         pos_b = model.score_participants_from(emb, users_b, items_b, parts_b, raw=True)
-        neg_parts = self.sampler.sample_participants_batch(
-            users_b, items_b, cfg.train_negatives
-        )
+        if self._pool_b is not None:
+            neg_parts = self._pool_b.draw(
+                batch_b["index"], cfg.train_negatives, epoch=self._epoch
+            )
+        else:
+            neg_parts = self.sampler.sample_participants_batch(
+                users_b, items_b, cfg.train_negatives
+            )
         neg_b = model.score_participants_from(
             emb,
             np.repeat(users_b, cfg.train_negatives),

@@ -131,8 +131,9 @@ class TestBatching:
     def test_task_b_batch_fields(self, handmade_groups):
         samples = extract_task_b(handmade_groups)
         batch = next(iter_task_b_batches(samples, batch_size=3, seed=0))
-        assert set(batch) == {"users", "items", "participants", "group_index"}
+        assert set(batch) == {"index", "users", "items", "participants", "group_index"}
         assert len(batch["users"]) == 3
+        np.testing.assert_array_equal(batch["users"], samples.users[batch["index"]])
 
     def test_shuffle_changes_order_but_not_content(self, handmade_groups):
         samples = extract_task_b(handmade_groups)

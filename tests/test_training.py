@@ -41,6 +41,7 @@ class TestTrainConfig:
 
 
 class TestTrainerLoop:
+    @pytest.mark.slow
     def test_loss_decreases_over_epochs(self, tiny_dataset, small_config):
         model = MGBR(tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
                      config=small_config)
