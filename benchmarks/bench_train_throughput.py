@@ -1,0 +1,204 @@
+"""Training-throughput benchmark: the planned optimisation step vs flat.
+
+Times full training epochs for the two trainer engines — the historical
+*flat* step (``TrainConfig(dedup=False)``: every (instance × negative)
+loss row re-scored through the full model) and the *planned* step
+(``dedup=True``: each step's positive + negative + auxiliary-corruption
+requests compiled into one differentiable
+:class:`repro.plan.PlannedBatch`, unique requests scored once through
+the factorized expert/gate stack, scores scattered back to the loss
+rows) — at the paper's loop hyper-parameters: batch 64, 1:9 negative
+sampling, |T| = 99 auxiliary corruptions.  Also records the ``"auto"``
+engine, which resolves per model (planned for MGBR's expensive stack,
+flat for GBMF's near-free dot product) — the plan-aware cheap-model
+heuristic from the ROADMAP.
+
+Each engine reports steps/sec plus the per-phase wall-clock breakdown
+(``sampling`` / ``forward`` / ``backward`` / ``optimizer``) surfaced by
+:class:`repro.training.history.EpochRecord.phases`, and the first-epoch
+losses of both engines are compared — they agree to float re-association
+(bit-identical for GBMF's pure pair-dedup path); the strict gradient /
+post-Adam-weight parity assertions live in tests/test_training.py.
+
+Writes ``BENCH_train_throughput.json`` at the repository root.  Run
+directly (``PYTHONPATH=src python benchmarks/bench_train_throughput.py``);
+``--smoke`` runs a seconds-scale configuration and skips the artifact.
+Environment knobs: ``REPRO_BENCH_TRAIN_USERS / ITEMS / GROUPS / EPOCHS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.baselines import GBMF
+from repro.core import MGBR, MGBRConfig
+from repro.data import SyntheticConfig, generate_dataset
+from repro.training import TrainConfig, Trainer
+
+USERS = int(os.environ.get("REPRO_BENCH_TRAIN_USERS", "300"))
+ITEMS = int(os.environ.get("REPRO_BENCH_TRAIN_ITEMS", "120"))
+GROUPS = int(os.environ.get("REPRO_BENCH_TRAIN_GROUPS", "900"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_TRAIN_EPOCHS", "2"))
+
+# Paper loop hyper-parameters (Table II): |B| = 64, 1:9, |T| = 99.
+BATCH_SIZE = 64
+TRAIN_NEGATIVES = 9
+AUX_NEGATIVES = 99
+
+DATA_SEED = 7
+MODEL_SEED = 1
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_train_throughput.json"
+
+
+def _dataset():
+    return generate_dataset(
+        SyntheticConfig(n_users=USERS, n_items=ITEMS, n_groups=GROUPS), seed=DATA_SEED
+    )
+
+
+def _build_mgbr(dataset):
+    config = MGBRConfig.small(
+        d=16,
+        aux_negatives=AUX_NEGATIVES,
+        train_negatives=TRAIN_NEGATIVES,
+        batch_size=BATCH_SIZE,
+        seed=MODEL_SEED,
+    )
+    return MGBR(dataset.train, dataset.n_users, dataset.n_items, config=config)
+
+
+def _build_gbmf(dataset):
+    return GBMF(dataset.n_users, dataset.n_items, dim=16, seed=MODEL_SEED)
+
+
+def _train_config(dedup) -> TrainConfig:
+    return TrainConfig(
+        epochs=EPOCHS,
+        batch_size=BATCH_SIZE,
+        train_negatives=TRAIN_NEGATIVES,
+        aux_negatives=AUX_NEGATIVES,
+        learning_rate=5e-3,
+        seed=0,
+        dedup=dedup,
+    )
+
+
+def _steps_per_epoch(trainer: Trainer) -> int:
+    cfg = trainer.config
+    n_a = max(1, (len(trainer.task_a) + cfg.batch_size - 1) // cfg.batch_size)
+    n_b = max(1, (len(trainer.task_b) + cfg.batch_size - 1) // cfg.batch_size)
+    return max(n_a, n_b)
+
+
+def _run_engine(build_model, dataset, dedup) -> dict:
+    """Train ``EPOCHS`` epochs; report the best epoch's throughput."""
+    trainer = Trainer(build_model(dataset), dataset, _train_config(dedup))
+    steps = _steps_per_epoch(trainer)
+    records = [trainer.train_epoch() for _ in range(EPOCHS)]
+    best = min(records, key=lambda r: r.seconds)
+    return {
+        "engine": "planned" if trainer._use_planned else "flat",
+        "steps_per_epoch": steps,
+        "epoch_seconds": round(best.seconds, 4),
+        "steps_per_sec": round(steps / best.seconds, 3),
+        "phase_seconds": best.phases,
+        "first_epoch_losses": {k: v for k, v in records[0].losses.items()},
+    }
+
+
+def _plan_stats(build_model, dataset) -> dict:
+    """Plan statistics for one representative training step's requests.
+
+    Uses the trainer's own plan construction
+    (:meth:`repro.training.Trainer._step_planned_batches`), so the
+    reported numbers describe exactly what the planned step scores.
+    """
+    trainer = Trainer(build_model(dataset), dataset, _train_config(True))
+    pair = next(iter(trainer._paired_batches()))
+    draws = trainer._draw_negatives(pair["a"], pair["b"])
+    batches = trainer._step_planned_batches(pair["a"], pair["b"], draws)
+    return {name: batch.plan.stats() for name, batch in batches.items()}
+
+
+def _bench_model(build_model, dataset) -> dict:
+    flat = _run_engine(build_model, dataset, False)
+    planned = _run_engine(build_model, dataset, True)
+    auto = _run_engine(build_model, dataset, "auto")
+    loss_delta = max(
+        abs(flat["first_epoch_losses"][k] - planned["first_epoch_losses"][k])
+        for k in flat["first_epoch_losses"]
+    )
+    return {
+        "flat": flat,
+        "planned": planned,
+        "auto": auto,
+        "auto_resolves_to": auto["engine"],
+        "planned_speedup": round(
+            planned["steps_per_sec"] / flat["steps_per_sec"], 2
+        ),
+        "first_epoch_loss_max_abs_diff": loss_delta,
+        "step_plan": _plan_stats(build_model, dataset),
+    }
+
+
+def run_benchmark() -> dict:
+    dataset = _dataset()
+    return {
+        "dataset": {"users": USERS, "items": ITEMS, "groups": GROUPS},
+        "loop": {
+            "batch_size": BATCH_SIZE,
+            "train_negatives": TRAIN_NEGATIVES,
+            "aux_negatives": AUX_NEGATIVES,
+            "epochs_timed": EPOCHS,
+        },
+        "models": {
+            "MGBR": _bench_model(_build_mgbr, dataset),
+            "GBMF": _bench_model(_build_gbmf, dataset),
+        },
+    }
+
+
+def check_report(report: dict) -> None:
+    """The acceptance gates the CI smoke run also exercises."""
+    mgbr = report["models"]["MGBR"]
+    assert mgbr["planned_speedup"] >= 2.0, (
+        f"planned step speedup {mgbr['planned_speedup']}x < 2x"
+    )
+    assert mgbr["auto_resolves_to"] == "planned", "auto should plan for MGBR"
+    assert mgbr["first_epoch_loss_max_abs_diff"] < 1e-9, (
+        f"planned losses diverged: {mgbr['first_epoch_loss_max_abs_diff']}"
+    )
+    gbmf = report["models"]["GBMF"]
+    assert gbmf["auto_resolves_to"] == "flat", "auto should stay flat for GBMF"
+    assert gbmf["first_epoch_loss_max_abs_diff"] == 0.0, (
+        "pair-dedup losses must be bit-identical"
+    )
+
+
+def test_train_throughput():
+    """Planned step ≥2× flat for MGBR; losses agree; auto routes sanely."""
+    report = run_benchmark()
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    check_report(report)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run (tiny dataset, 1 epoch); skips the JSON artifact",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        USERS, ITEMS, GROUPS, EPOCHS = 100, 40, 240, 1
+        AUX_NEGATIVES = 19
+    result = run_benchmark()
+    check_report(result)
+    if not args.smoke:
+        OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

@@ -86,6 +86,12 @@ class GroupBuyingRecommender(Module):
     #: Only the MGBR family overrides this.
     supports_aux_losses: bool = False
 
+    #: Rough dense-scoring cost per request row relative to a plain
+    #: dot-product scorer — the model-cost term of the ``dedup="auto"``
+    #: heuristic (:meth:`prefers_planned`).  MGBR overrides this with a
+    #: value proportional to its layer-0 linear widths.
+    scoring_cost_hint: float = 1.0
+
     def __init__(self, n_users: int, n_items: int) -> None:
         super().__init__()
         if n_users <= 0 or n_items <= 0:
@@ -157,8 +163,51 @@ class GroupBuyingRecommender(Module):
         return self.score_participants_from(self._bundle(), users, items, participants)
 
     # ------------------------------------------------------------------
-    # Planned (deduplicated) scoring — the evaluation/serving hot path
+    # Planned (deduplicated) scoring — the evaluation/serving/training
+    # hot path
     # ------------------------------------------------------------------
+    @property
+    def mean_participant_id(self) -> int:
+        """Sentinel id meaning "the averaged participant slot" in plans.
+
+        One past the last real user id, so it can never collide with an
+        entity and — plan ids being sorted — always lands last in a
+        plan's ``unique_participants``.  The trainer uses it to fold
+        Task-A pair requests (scored with the mean participant, paper
+        Sec. II-E) and auxiliary corruption triples (explicit
+        participants) into one :class:`repro.plan.PlannedBatch`.
+        """
+        return self.n_users
+
+    def prefers_planned(self, duplication_hint: float = 1.0) -> bool:
+        """The ``dedup="auto"`` policy: is planning worth its overhead?
+
+        Planning costs O(N log N) on request ids; it pays off when the
+        per-row model cost saved (``scoring_cost_hint``, ≈1 for
+        dot-product scorers, ≫1 for the factorized expert/gate stack)
+        times the expected request duplication exceeds the plan build.
+        The threshold is calibrated on BENCH_eval_throughput.json: GBMF's
+        sub-millisecond 1:99 cells lose to planning
+        (``dedup_speedup < 1``) while every MGBR cell wins.
+
+        ``duplication_hint`` is the caller's estimate of *pair-level*
+        duplication — how often the same full ``(u, i[, p])`` request
+        repeats, the only redundancy a non-factorized model can exploit.
+        Evaluation candidate lists and training batches are ≈1 there
+        (distinct candidates per instance; entity-level repetition is
+        already priced into the stack's ``scoring_cost_hint``), which is
+        why the protocol and trainer call this with the default; a
+        serving-style caller coalescing overlapping requests should pass
+        its observed ratio.
+        """
+        return self.scoring_cost_hint * max(duplication_hint, 1.0) >= 8.0
+
+    def resolve_dedup(self, dedup, duplication_hint: float = 1.0) -> bool:
+        """Map a ``dedup`` knob (bool or ``"auto"``) to a decision."""
+        if dedup == "auto":
+            return self.prefers_planned(duplication_hint)
+        return bool(dedup)
+
     def _score_item_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
         """Score a plan's unique (u, i) requests → ``(P,)`` tensor.
 
@@ -168,6 +217,13 @@ class GroupBuyingRecommender(Module):
         default public ``score_items`` (σ is monotone, and saturated
         probabilities would collapse distinct candidates into ties),
         the model's own score scale otherwise.
+
+        This hook is also the trainer's differentiable planned path:
+        called outside ``no_grad`` with the step's live ``emb``, the
+        returned tensor back-propagates into the encoder (the ``emb``
+        branch keeps gradients; the cached-``score_items`` branch exists
+        only for externally-defined models, which the planned trainer
+        does not route here).
         """
         if type(self).score_items is GroupBuyingRecommender.score_items:
             return self.score_items_from(emb, plan.users, plan.items, raw=True)
@@ -200,7 +256,7 @@ class GroupBuyingRecommender(Module):
         scores = self._score_participant_plan(self._bundle(), plan)
         return np.asarray(scores.data, dtype=np.float64).ravel()
 
-    def score_items_matrix(self, users, candidate_items, dedup: bool = True) -> np.ndarray:
+    def score_items_matrix(self, users, candidate_items, dedup="auto") -> np.ndarray:
         """Task-A *ranking* scores for per-instance candidate lists.
 
         Parameters
@@ -208,9 +264,13 @@ class GroupBuyingRecommender(Module):
         users: ``(n,)`` instance initiators.
         candidate_items: ``(n, m)`` candidate items — row ``k`` is the
             list scored for ``users[k]``.
-        dedup: plan the request first (default) — repeated (u, i) pairs
+        dedup: ``True`` plans the request first — repeated (u, i) pairs
             are scored once and scattered back; ``False`` scores every
-            flat row (the pre-plan batched path, kept for benchmarking).
+            flat row (the pre-plan batched path, kept for benchmarking);
+            ``"auto"`` (default) lets :meth:`prefers_planned` pick —
+            planning for expensive stacks like MGBR, flat for near-free
+            dot-product scorers where the plan build costs more than it
+            saves.
 
         Returns
         -------
@@ -229,7 +289,7 @@ class GroupBuyingRecommender(Module):
             raise ValueError(
                 f"need (n,) users and (n, m) candidates, got {users.shape}/{cands.shape}"
             )
-        if dedup:
+        if self.resolve_dedup(dedup):
             plan = ScoringPlan.for_items(users, cands)
             return plan.scatter(self.score_item_plan(plan))
         flat_users = np.repeat(users, cands.shape[1])
@@ -242,14 +302,14 @@ class GroupBuyingRecommender(Module):
         return np.asarray(scores.data, dtype=np.float64).reshape(cands.shape)
 
     def score_participants_matrix(
-        self, users, items, candidate_participants, dedup: bool = True
+        self, users, items, candidate_participants, dedup="auto"
     ) -> np.ndarray:
         """Task-B ranking scores for per-instance candidate lists.
 
         ``users``/``items`` are ``(n,)`` instance pairs and
         ``candidate_participants`` is ``(n, m)``; returns the ``(n, m)``
-        score matrix.  Same dedup and raw-logit conventions as
-        :meth:`score_items_matrix`.
+        score matrix.  Same dedup (``True``/``False``/``"auto"``) and
+        raw-logit conventions as :meth:`score_items_matrix`.
         """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
@@ -259,7 +319,7 @@ class GroupBuyingRecommender(Module):
                 "need (n,) users, (n,) items and (n, m) candidates, got "
                 f"{users.shape}/{items.shape}/{cands.shape}"
             )
-        if dedup:
+        if self.resolve_dedup(dedup):
             plan = ScoringPlan.for_participants(users, items, cands)
             return plan.scatter(self.score_participant_plan(plan))
         n_list = cands.shape[1]

@@ -21,12 +21,13 @@ from repro.core.mtl import MTLLayer, MultiTaskModule
 from repro.core.prediction import PredictionHead
 from repro.core.variants import VARIANTS, build_variant, variant_config
 from repro.core.views import HINEmbedding, MultiViewEmbedding
-from repro.plan import ScoringPlan
+from repro.plan import PlannedBatch, ScoringPlan
 
 __all__ = [
     "MGBRConfig",
     "MGBR",
     "ScoringPlan",
+    "PlannedBatch",
     "MultiViewEmbedding",
     "HINEmbedding",
     "ExpertBank",

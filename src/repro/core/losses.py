@@ -15,6 +15,14 @@ paper's equations (``log σ(x)`` is computed as a stable softplus).
   label-1 slots (the classic ListNet top-one form).
 * :func:`aux_loss_task_b` — Eq. 24, BPR on item corruption for Task B.
 * :func:`total_loss` — Eq. 25: ``L_A + β L_B + β_A L'_A + β_B L'_B``.
+
+Two entry points per auxiliary loss: :func:`aux_loss_task_a` /
+:func:`aux_loss_task_b` score their corruption triples through the model
+(the flat training path), while :func:`listwise_aux_loss` and
+:func:`aux_loss_task_b_from_scores` accept *pre-planned* score tensors —
+the planned trainer compiles every corruption request into one
+:class:`repro.plan.PlannedBatch`, scores unique triples once, and feeds
+the scattered segments straight into these forms.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ __all__ = [
     "listwise_aux_loss",
     "aux_loss_task_a",
     "aux_loss_task_b",
+    "aux_loss_task_b_from_scores",
     "LossBreakdown",
     "total_loss",
 ]
@@ -152,6 +161,20 @@ def aux_loss_task_b(
         emb, u_rep, corrupted_items.ravel(), p_rep, raw=True
     ).reshape(batch, t)
     return bpr_loss(pos, neg)
+
+
+def aux_loss_task_b_from_scores(
+    pos_logits: Tensor, corrupted_logits: Tensor
+) -> Tensor:
+    """``L'_B`` (Eq. 24) from pre-planned scores.
+
+    ``pos_logits`` are the true triples' Task-B logits ``s(p|u,i)``
+    (``(batch,)``) and ``corrupted_logits`` the item-corrupted
+    ``s(p|u,i')`` bank (``(batch, |T|)``) — the planned trainer reads
+    both as segments of one scattered score vector, so the positive
+    scores are shared with ``L_B`` instead of recomputed.
+    """
+    return bpr_loss(pos_logits, corrupted_logits)
 
 
 @dataclass

@@ -26,7 +26,7 @@ from repro.core.mtl import MultiTaskModule
 from repro.core.prediction import PredictionHead
 from repro.core.views import HINEmbedding, MultiViewEmbedding
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, take_rows, zeros
+from repro.nn.tensor import Tensor, concat, take_rows, zeros
 from repro.plan import ScoringPlan
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -151,34 +151,86 @@ class MGBR(GroupBuyingRecommender):
     # ------------------------------------------------------------------
     # Planned (deduplicated + factorized) scoring
     # ------------------------------------------------------------------
-    def _score_item_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
-        """Task-A raw logits for a plan's unique (u, i) requests.
+    def _planned_towers(self, emb: EmbeddingBundle, plan: ScoringPlan):
+        """Run the factorized stack over a plan → ``(g^L_A, g^L_B)``.
 
-        Runs the factorized expert/gate stack
-        (:meth:`repro.core.mtl.MultiTaskModule.forward_planned`): layer-0
-        partial projections are computed once per unique user / unique
-        candidate item, and Task A's averaged participant slot is a
-        single shared row — the broadcast ``e_p`` of the dense path
-        collapses to one entity.
+        Layer-0 partial projections are computed once per unique user /
+        item / participant (:meth:`repro.core.mtl.MultiTaskModule
+        .forward_planned`).  The participant slot handles all three plan
+        shapes:
+
+        * pair plans (no participant column): Task A's averaged
+          participant is a single shared row — the broadcast ``e_p`` of
+          the dense path collapses to one entity;
+        * pure triple plans: one row per unique participant;
+        * mixed plans carrying the :attr:`mean_participant_id` sentinel
+          (the trainer's :class:`repro.plan.PlannedBatch` folds Task-A
+          pair requests and auxiliary corruption triples together): the
+          sentinel sorts last in ``unique_participants``, so its row is
+          substituted with the mean-participant embedding.
+
+        Built entirely from autograd ops — called with a live training
+        ``emb`` the towers back-propagate through the gathers and
+        partial projections into the encoder.
         """
         e_u = take_rows(emb.user, plan.unique_users)
         e_i = take_rows(emb.item, plan.unique_items)
-        mean_p = emb.mean_participant()  # (1, 2d), cached across chunks
-        part_pos = np.zeros(plan.n_pairs, dtype=np.int64)
-        g_a, _ = self.mtl.forward_planned(
-            e_u, e_i, mean_p, plan.user_pos, plan.item_pos, part_pos
+        if plan.participants is None:
+            e_p = emb.mean_participant()  # (1, 2d), cached across chunks
+            part_pos = np.zeros(plan.n_pairs, dtype=np.int64)
+        else:
+            uniq_p = plan.unique_participants
+            part_pos = plan.part_pos
+            if len(uniq_p) and uniq_p[-1] == self.mean_participant_id:
+                real = uniq_p[:-1]
+                mean_p = emb.mean_participant()
+                if len(real):
+                    e_p = concat(
+                        [take_rows(emb.participant, real), mean_p], axis=0
+                    )
+                else:
+                    e_p = mean_p
+            else:
+                e_p = take_rows(emb.participant, uniq_p)
+        return self.mtl.forward_planned(
+            e_u, e_i, e_p, plan.user_pos, plan.item_pos, part_pos
         )
+
+    def _score_item_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
+        """Task-A raw logits for a plan's unique requests (factorized)."""
+        g_a, _ = self._planned_towers(emb, plan)
         return self.head_a(g_a)
 
     def _score_participant_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
         """Task-B raw logits for a plan's unique (u, i, p) requests."""
-        e_u = take_rows(emb.user, plan.unique_users)
-        e_i = take_rows(emb.item, plan.unique_items)
-        e_p = take_rows(emb.participant, plan.unique_participants)
-        _, g_b = self.mtl.forward_planned(
-            e_u, e_i, e_p, plan.user_pos, plan.item_pos, plan.part_pos
-        )
+        _, g_b = self._planned_towers(emb, plan)
         return self.head_b(g_b)
+
+    def planned_joint_logits(self, emb: EmbeddingBundle, plan: ScoringPlan):
+        """Both heads' raw logits over one plan → ``(logits_a, logits_b)``.
+
+        The expert/gate stack always computes both towers, so a trainer
+        that folds *both* tasks' positives, negatives and auxiliary
+        corruptions into one :class:`repro.plan.PlannedBatch` gets the
+        second head's scores for just an extra MLP pass — and the
+        item-corrupted triples shared by ``L'_A`` and ``L'_B`` (Eq. 21
+        and 24 corrupt the same ``(u, i', p)`` set) are scored once.
+        """
+        g_a, g_b = self._planned_towers(emb, plan)
+        return self.head_a(g_a), self.head_b(g_b)
+
+    @property
+    def scoring_cost_hint(self) -> float:
+        """Model-cost term of the ``dedup="auto"`` heuristic.
+
+        ≈ dense layer-0 FLOPs per request row over the planned path's
+        per-row combine cost: the 12d/18d-wide expert and gate linears
+        against the K·d gather-adds work out to roughly ``4d`` (see
+        docs/training.md) — far above the planning threshold for any
+        usable embedding width, which is the point: the stack always
+        plans, dot-product scorers never accidentally do.
+        """
+        return float(4 * self.config.d)
 
     # ------------------------------------------------------------------
     # Capabilities

@@ -304,6 +304,12 @@ class MultiTaskModule(Module):
         requests, which the plan has already collapsed.  Returns
         ``(g^L_A, g^L_B)`` with one row per unique request; numerically
         this matches :meth:`forward` up to float re-association.
+
+        Every op here (gathers, weight-block partial projections,
+        combines) records on the autograd tape, so the same path serves
+        both inference (under ``no_grad``) and the planned *training*
+        step, where gradients flow back through the ``*_pos`` gather
+        maps into the unique-entity embeddings.
         """
         adj_logits = []
         for layer in self._layers:

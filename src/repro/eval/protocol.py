@@ -27,18 +27,24 @@ throughput benchmarking.
 
 Planned scoring (dedup)
 -----------------------
-With ``dedup=True`` (the default) each task's flattened request is first
-compiled into a :class:`repro.plan.ScoringPlan`: repeated (u, i) /
-(u, i, p) requests collapse onto unique pairs *globally* (dedup sees the
-whole instance set, not one chunk), the model scores ``chunk_size``-row
+With ``dedup=True`` each task's flattened request is first compiled
+into a :class:`repro.plan.ScoringPlan`: repeated (u, i) / (u, i, p)
+requests collapse onto unique pairs *globally* (dedup sees the whole
+instance set, not one chunk), the model scores ``chunk_size``-row
 windows of unique pairs via ``score_item_plan`` /
 ``score_participant_plan``, and one scatter rebuilds the full score
 matrix.  Models inherit pair dedup from
 :class:`repro.baselines.base.GroupBuyingRecommender`; MGBR additionally
 runs its factorized expert/gate stack per plan, cutting the layer-0
 FLOPs that dominate 1:99 lists.  ``dedup=False`` keeps the pre-plan flat
-path for benchmarking.  Duplicate requests receive bit-equal scores on
-both paths, so ties (and therefore metrics) are unaffected.
+path for benchmarking.  ``dedup="auto"`` (the default) asks the model
+(:meth:`repro.baselines.base.GroupBuyingRecommender.prefers_planned`)
+whether planning pays for itself: the expert/gate stack always plans,
+while near-free dot-product scorers (GBMF at toy scale) skip the
+O(N log N) plan build that used to cost them more than it saved —
+the ``dedup_speedup < 1`` cells in BENCH_eval_throughput.json.
+Duplicate requests receive bit-equal scores on all paths, so ties (and
+therefore metrics) are unaffected.
 
 Scoring convention: the batched path ranks *raw logits* (see
 :meth:`repro.baselines.base.GroupBuyingRecommender.score_items_matrix`),
@@ -110,9 +116,10 @@ class EvalProtocol:
         per model call on the batched path.
     dtype: scoring precision — ``"float64"`` (exact) or ``"float32"``
         (inference fast path; see the module docstring).
-    dedup: compile each task's request into a :class:`ScoringPlan`
-        first (see the module docstring); ``False`` scores every flat
-        row the pre-plan way.
+    dedup: ``True`` compiles each task's request into a
+        :class:`ScoringPlan` first (see the module docstring);
+        ``False`` scores every flat row the pre-plan way; ``"auto"``
+        (default) lets the model's cost hint decide.
     """
 
     dataset: GroupBuyingDataset
@@ -123,7 +130,7 @@ class EvalProtocol:
     max_instances: Optional[int] = None
     chunk_size: int = 4096
     dtype: str = "float64"
-    dedup: bool = True
+    dedup: object = "auto"
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -131,6 +138,17 @@ class EvalProtocol:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.dtype not in ("float32", "float64"):
             raise ValueError(f"dtype must be float32|float64, got {self.dtype!r}")
+        if self.dedup not in (True, False, "auto"):
+            raise ValueError(
+                f"dedup must be True, False or 'auto', got {self.dedup!r}"
+            )
+
+    def _resolve_dedup(self, model) -> bool:
+        """Map the ``dedup`` knob to a per-model decision."""
+        resolver = getattr(model, "resolve_dedup", None)
+        if resolver is not None:
+            return resolver(self.dedup)
+        return self.dedup is True
 
     def _groups(self):
         groups = getattr(self.dataset, self.split)
@@ -217,7 +235,7 @@ class EvalProtocol:
 
     def _score_task_a(self, model, lists) -> np.ndarray:
         users, cands = lists["users"], lists["candidates"]
-        if self.dedup and hasattr(model, "score_item_plan"):
+        if self._resolve_dedup(model) and hasattr(model, "score_item_plan"):
             plan = ScoringPlan.for_items(users, cands)
             return self._run_plan(plan, model.score_item_plan)
         # Plan-capable models get an explicit dedup=False (the pre-plan
@@ -230,7 +248,7 @@ class EvalProtocol:
 
     def _score_task_b(self, model, lists) -> np.ndarray:
         users, items, cands = lists["users"], lists["items"], lists["candidates"]
-        if self.dedup and hasattr(model, "score_participant_plan"):
+        if self._resolve_dedup(model) and hasattr(model, "score_participant_plan"):
             plan = ScoringPlan.for_participants(users, items, cands)
             return self._run_plan(plan, model.score_participant_plan)
         kwargs = {"dedup": False} if hasattr(model, "score_participant_plan") else {}
@@ -324,7 +342,7 @@ def evaluate_model(
     max_instances: Optional[int] = None,
     chunk_size: int = 4096,
     dtype: str = "float64",
-    dedup: bool = True,
+    dedup="auto",
 ) -> Dict[str, EvalResult]:
     """Run the paper's two standard protocols and key results by cutoff.
 

@@ -147,6 +147,54 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def _scatter_rows_add(
+    index: np.ndarray,
+    grad: np.ndarray,
+    n_rows: int,
+    dtype,
+) -> np.ndarray:
+    """Fresh ``(n_rows, ...)`` buffer with ``buffer[index] += grad`` applied.
+
+    The adjoint of every row gather (:func:`take_rows`,
+    ``Tensor.__getitem__`` with an integer vector, and the scoring plan's
+    gather/scatter maps).  Semantically ``np.zeros(...)`` + ``np.add.at``
+    — and *bit-identical* to it: the fast path expresses the scatter as
+    a sparse one-hot matmul ``M @ grad`` where CSR row ``r`` holds the
+    positions ``j`` with ``index[j] == r`` in occurrence order, and
+    scipy's CSR·dense kernel accumulates each row's terms sequentially
+    left-to-right — the same order ``add.at``'s element loop uses.
+    ``np.add.at`` is a per-element indexed loop, 3-7× slower at the
+    ``(unique_requests, K·d)`` gradient scatters the planned training
+    path back-propagates every step.
+    """
+    out_shape = (n_rows,) + grad.shape[1:]
+    if index.size == 0:
+        return np.zeros(out_shape, dtype=dtype)
+    if index.size < 512 or index.min() < 0:
+        # Tiny scatters are not worth building a sparse operator for;
+        # negative indices alias positive rows, which only add.at's
+        # sequential loop resolves.
+        out = np.zeros(out_shape, dtype=dtype)
+        np.add.at(out, index, grad)
+        return out
+    import scipy.sparse as sp  # deferred: keep the numpy-only core lazy
+
+    order = np.argsort(index, kind="stable")
+    counts = np.bincount(index, minlength=n_rows)
+    indptr = np.empty(n_rows + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    one_hot = sp.csr_matrix(
+        (np.ones(index.size, dtype=dtype), order, indptr),
+        shape=(n_rows, index.size),
+    )
+    # Cast before multiplying: add.at accumulates each element in the
+    # output's dtype, so summing in a narrower grad dtype first would
+    # round differently.
+    flat = np.ascontiguousarray(grad, dtype=dtype).reshape(index.size, -1)
+    return np.asarray(one_hot @ flat).reshape(out_shape)
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing over broadcast axes.
 
@@ -528,16 +576,32 @@ class Tensor:
         return Tensor._make(np.swapaxes(self.data, axis0, axis1), (self,), backward)
 
     def __getitem__(self, key) -> "Tensor":
-        """Slice / fancy-index; gradients scatter-add back into place."""
+        """Slice / fancy-index; gradients scatter-add back into place.
+
+        A 1-D integer-array key (the scoring plan's scatter maps) takes
+        the :func:`_scatter_rows_add` fast backward; every other index
+        expression keeps the general ``np.add.at`` adjoint.
+        """
         if isinstance(key, Tensor):
             key = key.data.astype(np.int64)
         value = self.data[key]
+        fast_rows = (
+            isinstance(key, np.ndarray)
+            and key.ndim == 1
+            and np.issubdtype(key.dtype, np.integer)
+        )
 
         def backward(g: np.ndarray) -> None:
-            if self.requires_grad:
-                grad = np.zeros_like(self.data)
-                np.add.at(grad, key, g)
-                self._accumulate(grad)
+            if not self.requires_grad:
+                return
+            if fast_rows:
+                self._accumulate(
+                    _scatter_rows_add(key, g, self.data.shape[0], self.data.dtype)
+                )
+                return
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, key, g)
+            self._accumulate(grad)
 
         return Tensor._make(value, (self,), backward)
 
@@ -628,17 +692,18 @@ def take_rows(source: Tensor, index: ArrayLike) -> Tensor:
     """Gather rows ``source[index]`` (embedding lookup).
 
     ``index`` is a 1-D integer array; the gradient scatter-adds into the
-    source rows, which makes repeated indices (mini-batches hitting the
-    same user) accumulate correctly.
+    source rows (via the sort-based :func:`_scatter_rows_add`, bit-equal
+    to ``np.add.at``), which makes repeated indices (mini-batches and
+    scoring plans hitting the same entity) accumulate correctly.
     """
     idx = np.asarray(index, dtype=np.int64)
     value = source.data[idx]
 
     def backward(g: np.ndarray) -> None:
         if source.requires_grad:
-            grad = np.zeros_like(source.data)
-            np.add.at(grad, idx, g)
-            source._accumulate(grad)
+            source._accumulate(
+                _scatter_rows_add(idx, g, source.data.shape[0], source.data.dtype)
+            )
 
     return Tensor._make(value, (source,), backward)
 
@@ -650,8 +715,7 @@ def scatter_rows_sum(rows: Tensor, index: ArrayLike, n_rows: int) -> Tensor:
     (e.g. averaging participant embeddings per group).
     """
     idx = np.asarray(index, dtype=np.int64)
-    value = np.zeros((n_rows,) + rows.data.shape[1:], dtype=rows.data.dtype)
-    np.add.at(value, idx, rows.data)
+    value = _scatter_rows_add(idx, rows.data, n_rows, rows.data.dtype)
 
     def backward(g: np.ndarray) -> None:
         if rows.requires_grad:

@@ -21,8 +21,12 @@ runs:
 
 Plans are plain data: NumPy index arrays plus an output shape.  They are
 built by the evaluation protocol, the batched matrix scorers in
-:mod:`repro.baselines.base`, and the :mod:`repro.serving` front-end, and
-consumed by any model's ``score_item_plan`` / ``score_participant_plan``.
+:mod:`repro.baselines.base`, the :mod:`repro.serving` front-end, and —
+via :class:`PlannedBatch`, which compiles a training step's
+heterogeneous positive/negative/auxiliary-corruption segments into one
+plan per head — the trainer's planned optimisation step
+(:mod:`repro.training.trainer`), whose gathers and scatters run as
+autograd ops so gradients flow through the dedup maps.
 
 This module lives at the package root (below every other layer) because
 the plan is the contract between them: it depends only on NumPy.
@@ -31,11 +35,11 @@ the plan is the contract between them: it depends only on NumPy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ScoringPlan"]
+__all__ = ["ScoringPlan", "PlannedBatch"]
 
 
 def _unique_rows(columns):
@@ -272,3 +276,124 @@ class ScoringPlan:
         if self.scatter_index is None:
             return unique_scores.reshape(self.out_shape)
         return unique_scores[self.scatter_index].reshape(self.out_shape)
+
+
+@dataclass
+class PlannedBatch:
+    """One :class:`ScoringPlan` compiled from named request *segments*.
+
+    A training step is a heterogeneous bag of scoring requests against
+    the same head: Task-A positives and sampled negatives (scored with
+    the averaged participant slot), plus the auxiliary corruption triples
+    (explicit participants).  A ``PlannedBatch`` concatenates those
+    segments into one flat request, compiles it into a single global
+    plan — so a ``(u, i, p)`` triple appearing in several loss terms is
+    scored exactly once — and remembers each segment's window so the
+    scattered scores can be split back into per-loss arrays.
+
+    Segments whose participant column is ``None`` ("score with the
+    averaged participant", Task A's convention) are filled with the
+    caller's ``sentinel`` id — by convention one past the last real
+    participant id (``model.mean_participant_id``), so it can never
+    collide with a real entity and, because plan ids sort, always lands
+    *last* in ``unique_participants`` where the model can substitute the
+    mean-participant row.  When *no* segment carries participants the
+    participant column is dropped entirely (a plain pair plan — the
+    baseline models' Task-A shape).
+
+    ``scatter``/``take`` are duck-typed over NumPy arrays and
+    :class:`repro.nn.tensor.Tensor` (both support fancy indexing,
+    slicing and ``reshape``), which keeps this module dependent on NumPy
+    alone while the trainer routes *differentiable* scores through the
+    same maps.
+    """
+
+    plan: ScoringPlan
+    segments: Dict[str, Tuple[int, Tuple[int, ...]]]
+
+    @classmethod
+    def build(
+        cls,
+        segments: Mapping[str, Sequence],
+        sentinel: Optional[int] = None,
+    ) -> "PlannedBatch":
+        """Compile ordered ``name -> (users, items, participants, shape)``.
+
+        Each value holds parallel 1-D id arrays (``participants`` may be
+        ``None``) and the ``shape`` the segment's scores should be
+        returned in (``prod(shape)`` must equal the arrays' length —
+        callers pre-repeat, e.g. ``np.repeat(users, n_negatives)``).
+        """
+        if not segments:
+            raise ValueError("PlannedBatch needs at least one segment")
+        windows: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+        users_parts, items_parts, part_parts = [], [], []
+        offset = 0
+        any_participants = any(spec[2] is not None for spec in segments.values())
+        for name, (users, items, participants, shape) in segments.items():
+            users = np.asarray(users, dtype=np.int64)
+            items = np.asarray(items, dtype=np.int64)
+            shape = tuple(int(s) for s in shape)
+            length = int(np.prod(shape)) if shape else 1
+            if users.ndim != 1 or users.shape != items.shape or len(users) != length:
+                raise ValueError(
+                    f"segment {name!r}: need 1-D id arrays of length prod{shape}, "
+                    f"got users {users.shape} / items {items.shape}"
+                )
+            if any_participants:
+                if participants is None:
+                    if sentinel is None:
+                        raise ValueError(
+                            f"segment {name!r} has no participants but the batch "
+                            "mixes in triple segments — pass the mean-participant "
+                            "sentinel id"
+                        )
+                    participants = np.full(length, int(sentinel), dtype=np.int64)
+                else:
+                    participants = np.asarray(participants, dtype=np.int64)
+                    if participants.shape != users.shape:
+                        raise ValueError(
+                            f"segment {name!r}: participants shape "
+                            f"{participants.shape} != users {users.shape}"
+                        )
+                part_parts.append(participants)
+            users_parts.append(users)
+            items_parts.append(items)
+            windows[name] = (offset, shape)
+            offset += length
+        users_cat = np.concatenate(users_parts)
+        items_cat = np.concatenate(items_parts)
+        if any_participants:
+            plan = ScoringPlan.from_triples(
+                users_cat, items_cat, np.concatenate(part_parts)
+            )
+        else:
+            plan = ScoringPlan.from_item_pairs(users_cat, items_cat)
+        return cls(plan=plan, segments=windows)
+
+    @property
+    def n_flat(self) -> int:
+        """Total request rows across all segments."""
+        return self.plan.n_flat
+
+    def scatter(self, unique_scores):
+        """Unique-request scores → the flat per-request score vector.
+
+        Works on plain arrays *and* autograd tensors: the fancy index is
+        :class:`repro.nn.tensor.Tensor.__getitem__`'s scatter-add-backward
+        gather, so gradients flow from every duplicated loss row back to
+        the one score that produced it.
+        """
+        if self.plan.scatter_index is None:
+            return unique_scores
+        return unique_scores[self.plan.scatter_index]
+
+    def take(self, flat_scores, name: str):
+        """Slice segment ``name`` out of :meth:`scatter`'s output.
+
+        Returns the segment reshaped to its declared shape; accepts
+        arrays or tensors.
+        """
+        offset, shape = self.segments[name]
+        length = int(np.prod(shape)) if shape else 1
+        return flat_scores[offset : offset + length].reshape(shape)

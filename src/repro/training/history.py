@@ -17,16 +17,26 @@ __all__ = ["EpochRecord", "History"]
 
 @dataclass
 class EpochRecord:
-    """One epoch's bookkeeping."""
+    """One epoch's bookkeeping.
+
+    ``phases`` breaks the epoch's wall-clock into the trainer's four
+    step phases (``sampling`` / ``forward`` / ``backward`` /
+    ``optimizer`` seconds, summed over the epoch's steps) so users and
+    the training-throughput benchmark can see where a step's time goes.
+    """
 
     epoch: int
     losses: Dict[str, float]
     metrics: Dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def line(self) -> str:
         """Human-readable one-line summary."""
         parts = [f"epoch {self.epoch:3d}", f"{self.seconds:6.2f}s"]
+        if self.phases:
+            split = " ".join(f"{k[:3]} {v:.2f}s" for k, v in self.phases.items())
+            parts.append(f"[{split}]")
         parts += [f"{k}={v:.4f}" for k, v in self.losses.items()]
         parts += [f"{k}={v:.4f}" for k, v in self.metrics.items()]
         return "  ".join(parts)
@@ -79,6 +89,7 @@ class History:
                 "losses": r.losses,
                 "metrics": r.metrics,
                 "seconds": r.seconds,
+                "phases": r.phases,
             }
             for r in self.records
         ]
@@ -98,6 +109,7 @@ class History:
                     losses=dict(entry["losses"]),
                     metrics=dict(entry.get("metrics", {})),
                     seconds=float(entry.get("seconds", 0.0)),
+                    phases=dict(entry.get("phases", {})),
                 )
             )
         return history

@@ -10,6 +10,30 @@ negatives, assembles Eq. 25's objective
 (the auxiliary terms only for models that support them), back-propagates
 and takes an Adam step (Sec. II-F).  Early stopping tracks a validation
 metric with patience.
+
+Planned optimisation step (``dedup``)
+-------------------------------------
+A step's scoring requests are massively redundant: every Task-A/B user
+is re-encoded ``1 + train_negatives`` times, and the auxiliary losses
+(Eq. 21/22/24) repeat each positive triple's ``(u, i)`` / ``(u, p)``
+pair ``aux_negatives`` times.  With ``dedup=True`` (or ``"auto"`` on a
+model whose per-row scoring is expensive) the step compiles all of its
+positive, negative and auxiliary-corruption requests into
+:class:`repro.plan.PlannedBatch` — *with gradients*: unique requests
+are scored once through the model's planned hooks (MGBR's factorized
+expert/gate stack via ``planned_joint_logits``, pair dedup via the
+``_score_*_plan`` hooks otherwise) and scattered back to the loss rows
+through autograd gathers, so the backward pass flows through the dedup
+maps into the encoder.  The Task-A pair requests ride in the same plan
+as the explicit-participant corruption triples via the model's
+``mean_participant_id`` sentinel, and the item-corrupted triples shared
+by ``L'_A`` and ``L'_B`` are scored once.  Losses match the flat step
+up to float re-association (bit-identical for pure pair-dedup models —
+see tests/test_training.py's parity suite).
+
+Each step's wall-clock is split into ``sampling`` / ``forward`` /
+``backward`` / ``optimizer`` phases, surfaced per epoch via
+:class:`repro.training.history.EpochRecord.phases`.
 """
 
 from __future__ import annotations
@@ -17,18 +41,26 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import MGBRConfig
-from repro.core.losses import aux_loss_task_a, aux_loss_task_b, bpr_loss, total_loss
+from repro.core.losses import (
+    aux_loss_task_a,
+    aux_loss_task_b,
+    aux_loss_task_b_from_scores,
+    bpr_loss,
+    listwise_aux_loss,
+    total_loss,
+)
 from repro.data.batching import iter_task_a_batches, iter_task_b_batches
 from repro.data.negative import NegativeSampler
 from repro.data.samples import extract_task_a, extract_task_b
 from repro.data.schema import GroupBuyingDataset
 from repro.eval.protocol import EvalProtocol
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.plan import PlannedBatch
 from repro.training.history import EpochRecord, History
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
@@ -73,8 +105,20 @@ class TrainConfig:
     eval_dtype: str = "float64"  # periodic-validation scoring precision;
                                  # "float32" opts into the inference fast
                                  # path (see repro.eval.protocol)
+    dedup: object = "auto"       # route _step through the planned/dedup
+                                 # scoring path: True | False | "auto"
+                                 # (let the model's cost hint decide —
+                                 # planned for the expert/gate stack,
+                                 # flat for near-free dot-product
+                                 # scorers; see the module docstring)
     seed: SeedLike = 0
     verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dedup not in (True, False, "auto"):
+            raise ValueError(
+                f"dedup must be True, False or 'auto', got {self.dedup!r}"
+            )
 
     @classmethod
     def from_mgbr(cls, config: MGBRConfig, **overrides) -> "TrainConfig":
@@ -140,6 +184,19 @@ class Trainer:
             self._pool_b = self.sampler.build_participant_pool(
                 self.task_b.users, self.task_b.items, self.config.negative_pool_size
             )
+        resolver = getattr(model, "resolve_dedup", None)
+        if resolver is not None and hasattr(model, "_score_item_plan"):
+            # Default duplication hint: training pairs are near-unique
+            # (each (u, i±) appears once per step), so a pure pair-dedup
+            # model gains ~nothing from planning here; the factorized
+            # stack's entity-level gains are priced into its
+            # scoring_cost_hint.  See prefers_planned().
+            self._use_planned = resolver(self.config.dedup)
+        else:
+            # Duck-typed models without the planned hooks only take the
+            # planned path when explicitly asked (and then fail loudly).
+            self._use_planned = self.config.dedup is True
+        self._phase_totals: Dict[str, float] = {}
         self._validation_protocol: Optional[EvalProtocol] = None
         if self.config.eval_every and dataset.validation:
             self._validation_protocol = EvalProtocol(
@@ -172,20 +229,63 @@ class Trainer:
     # ------------------------------------------------------------------
     # One optimisation step
     # ------------------------------------------------------------------
-    def _step(self, batch_a: Dict[str, np.ndarray], batch_b: Dict[str, np.ndarray]) -> Dict[str, float]:
-        cfg = self.config
-        model = self.model
-        emb = model.compute_embeddings()
+    def _draw_negatives(
+        self, batch_a: Dict[str, np.ndarray], batch_b: Dict[str, np.ndarray]
+    ) -> Dict[str, Optional[np.ndarray]]:
+        """Draw every random id the step needs, in one place.
 
-        # --- Task A (Eq. 19, L_A) -------------------------------------
-        users_a, items_a = batch_a["users"], batch_a["items"]
-        pos_a = model.score_items_from(emb, users_a, items_a, raw=True)
+        The draw order (Task-A negatives, Task-B negatives, item
+        corruptions, participant corruptions) matches the historical
+        interleaved step, so a fixed seed produces identical batches on
+        the flat and planned paths — the basis of the parity tests.
+        ``corrupted_*`` are ``None`` when the model takes no auxiliary
+        losses.
+        """
+        cfg = self.config
         if self._pool_a is not None:
             neg_items = self._pool_a.draw(
                 batch_a["index"], cfg.train_negatives, epoch=self._epoch
             )
         else:
-            neg_items = self.sampler.sample_items_batch(users_a, cfg.train_negatives)
+            neg_items = self.sampler.sample_items_batch(
+                batch_a["users"], cfg.train_negatives
+            )
+        users_b, items_b = batch_b["users"], batch_b["items"]
+        if self._pool_b is not None:
+            neg_parts = self._pool_b.draw(
+                batch_b["index"], cfg.train_negatives, epoch=self._epoch
+            )
+        else:
+            neg_parts = self.sampler.sample_participants_batch(
+                users_b, items_b, cfg.train_negatives
+            )
+        corrupted_items = corrupted_parts = None
+        use_aux = getattr(self.model, "supports_aux_losses", False) and (
+            cfg.beta_a > 0 or cfg.beta_b > 0
+        )
+        if use_aux:
+            corrupted_items = self.sampler.corrupt_items(
+                users_b, items_b, cfg.aux_negatives
+            )
+            corrupted_parts = self.sampler.corrupt_participants(
+                users_b, items_b, cfg.aux_negatives
+            )
+        return {
+            "neg_items": neg_items,
+            "neg_parts": neg_parts,
+            "corrupted_items": corrupted_items,
+            "corrupted_parts": corrupted_parts,
+        }
+
+    def _flat_losses(self, emb, batch_a, batch_b, draws) -> Tuple:
+        """The historical step: score every loss row through the model."""
+        cfg = self.config
+        model = self.model
+
+        # --- Task A (Eq. 19, L_A) -------------------------------------
+        users_a, items_a = batch_a["users"], batch_a["items"]
+        pos_a = model.score_items_from(emb, users_a, items_a, raw=True)
+        neg_items = draws["neg_items"]
         neg_a = model.score_items_from(
             emb,
             np.repeat(users_a, cfg.train_negatives),
@@ -201,14 +301,7 @@ class Trainer:
             batch_b["participants"],
         )
         pos_b = model.score_participants_from(emb, users_b, items_b, parts_b, raw=True)
-        if self._pool_b is not None:
-            neg_parts = self._pool_b.draw(
-                batch_b["index"], cfg.train_negatives, epoch=self._epoch
-            )
-        else:
-            neg_parts = self.sampler.sample_participants_batch(
-                users_b, items_b, cfg.train_negatives
-            )
+        neg_parts = draws["neg_parts"]
         neg_b = model.score_participants_from(
             emb,
             np.repeat(users_b, cfg.train_negatives),
@@ -220,14 +313,146 @@ class Trainer:
 
         # --- Auxiliary losses (Sec. II-G) ------------------------------
         aux_a = aux_b = None
-        use_aux = getattr(model, "supports_aux_losses", False) and (
-            cfg.beta_a > 0 or cfg.beta_b > 0
+        corrupted_items = draws["corrupted_items"]
+        if corrupted_items is not None:
+            if cfg.beta_a > 0:
+                aux_a = aux_loss_task_a(
+                    model, emb, users_b, items_b, parts_b,
+                    corrupted_items, draws["corrupted_parts"], mode=cfg.aux_a_mode,
+                )
+            if cfg.beta_b > 0:
+                aux_b = aux_loss_task_b(
+                    model, emb, users_b, items_b, parts_b, corrupted_items
+                )
+        return loss_a, loss_b, aux_a, aux_b
+
+    def _step_planned_batches(
+        self, batch_a, batch_b, draws
+    ) -> Dict[str, PlannedBatch]:
+        """Compile one step's requests into its planned batch(es).
+
+        ``{"joint": batch}`` for models with a ``planned_joint_logits``
+        stack (every request of the step in one plan), else one plan per
+        head (``{"task_a": ..., "task_b": ...}``).  Shared with
+        benchmarks/bench_train_throughput.py so the reported plan
+        statistics describe exactly what the step scores.
+        """
+        cfg = self.config
+        n, t = cfg.train_negatives, cfg.aux_negatives
+        users_a, items_a = batch_a["users"], batch_a["items"]
+        users_b, items_b, parts_b = (
+            batch_b["users"],
+            batch_b["items"],
+            batch_b["participants"],
         )
-        if use_aux:
-            corrupted_items = self.sampler.corrupt_items(users_b, items_b, cfg.aux_negatives)
-            corrupted_parts = self.sampler.corrupt_participants(
-                users_b, items_b, cfg.aux_negatives
+        neg_items, neg_parts = draws["neg_items"], draws["neg_parts"]
+        corrupted_items = draws["corrupted_items"]
+        corrupted_parts = draws["corrupted_parts"]
+        if getattr(self.model, "planned_joint_logits", None) is not None:
+            segments = {
+                "pos_a": (users_a, items_a, None, (len(users_a),)),
+                "neg_a": (
+                    np.repeat(users_a, n), neg_items.ravel(), None, neg_items.shape
+                ),
+            }
+            if corrupted_items is not None:
+                u_rep = np.repeat(users_b, t)
+                p_rep = np.repeat(parts_b, t)
+                if cfg.beta_a > 0:
+                    segments["aux_tp"] = (
+                        u_rep, np.repeat(items_b, t),
+                        corrupted_parts.ravel(), corrupted_parts.shape,
+                    )
+                segments["aux_ti"] = (
+                    u_rep, corrupted_items.ravel(), p_rep, corrupted_items.shape
+                )
+            segments["pos_b"] = (users_b, items_b, parts_b, (len(users_b),))
+            segments["neg_b"] = (
+                np.repeat(users_b, n), np.repeat(items_b, n),
+                neg_parts.ravel(), neg_parts.shape,
             )
+            joint = PlannedBatch.build(
+                segments, sentinel=getattr(self.model, "mean_participant_id", None)
+            )
+            return {"joint": joint}
+        return {
+            "task_a": PlannedBatch.build({
+                "pos": (users_a, items_a, None, (len(users_a),)),
+                "neg": (
+                    np.repeat(users_a, n), neg_items.ravel(), None, neg_items.shape
+                ),
+            }),
+            "task_b": PlannedBatch.build({
+                "pos": (users_b, items_b, parts_b, (len(users_b),)),
+                "neg": (
+                    np.repeat(users_b, n), np.repeat(items_b, n),
+                    neg_parts.ravel(), neg_parts.shape,
+                ),
+            }),
+        }
+
+    def _planned_losses(self, emb, batch_a, batch_b, draws) -> Tuple:
+        """The deduplicated step: compile, score unique requests, scatter.
+
+        With a ``planned_joint_logits`` model (the MGBR family) every
+        request of the step — both tasks' positives and negatives plus
+        the auxiliary corruption triples — lands in *one*
+        :class:`repro.plan.PlannedBatch`: the expert/gate stack computes
+        both task towers anyway, Task-A pair requests ride along via the
+        mean-participant sentinel, and the ``(u, i', p)`` bank shared by
+        ``L'_A`` and ``L'_B`` (and the Task-B positives shared by
+        ``L_B`` and ``L'_B``) is scored once.  Pair-dedup models take
+        one plan per head through the ``_score_*_plan`` hooks instead;
+        auxiliary losses (no in-repo model needs this combination) fall
+        back to the flat helpers.
+        """
+        cfg = self.config
+        model = self.model
+        users_b, items_b, parts_b = (
+            batch_b["users"],
+            batch_b["items"],
+            batch_b["participants"],
+        )
+        corrupted_items = draws["corrupted_items"]
+        corrupted_parts = draws["corrupted_parts"]
+        batches = self._step_planned_batches(batch_a, batch_b, draws)
+
+        if "joint" in batches:
+            batch = batches["joint"]
+            logits_a, logits_b = model.planned_joint_logits(emb, batch.plan)
+            flat_a = batch.scatter(logits_a)
+            flat_b = batch.scatter(logits_b)
+            loss_a = bpr_loss(batch.take(flat_a, "pos_a"), batch.take(flat_a, "neg_a"))
+            loss_b = bpr_loss(batch.take(flat_b, "pos_b"), batch.take(flat_b, "neg_b"))
+            aux_a = aux_b = None
+            if corrupted_items is not None:
+                if cfg.beta_a > 0:
+                    aux_a = listwise_aux_loss(
+                        batch.take(flat_a, "aux_tp"),
+                        batch.take(flat_a, "aux_ti"),
+                        mode=cfg.aux_a_mode,
+                    )
+                if cfg.beta_b > 0:
+                    aux_b = aux_loss_task_b_from_scores(
+                        batch.take(flat_b, "pos_b"), batch.take(flat_b, "aux_ti")
+                    )
+            return loss_a, loss_b, aux_a, aux_b
+
+        # Per-head pair/triple dedup for models without a joint stack.
+        batch_a_plan = batches["task_a"]
+        flat_a = batch_a_plan.scatter(model._score_item_plan(emb, batch_a_plan.plan))
+        loss_a = bpr_loss(
+            batch_a_plan.take(flat_a, "pos"), batch_a_plan.take(flat_a, "neg")
+        )
+        batch_b_plan = batches["task_b"]
+        flat_b = batch_b_plan.scatter(
+            model._score_participant_plan(emb, batch_b_plan.plan)
+        )
+        loss_b = bpr_loss(
+            batch_b_plan.take(flat_b, "pos"), batch_b_plan.take(flat_b, "neg")
+        )
+        aux_a = aux_b = None
+        if corrupted_items is not None:
             if cfg.beta_a > 0:
                 aux_a = aux_loss_task_a(
                     model, emb, users_b, items_b, parts_b,
@@ -237,14 +462,32 @@ class Trainer:
                 aux_b = aux_loss_task_b(
                     model, emb, users_b, items_b, parts_b, corrupted_items
                 )
+        return loss_a, loss_b, aux_a, aux_b
 
+    def _step(self, batch_a: Dict[str, np.ndarray], batch_b: Dict[str, np.ndarray]) -> Dict[str, float]:
+        cfg = self.config
+        model = self.model
+        t0 = time.perf_counter()
+        draws = self._draw_negatives(batch_a, batch_b)
+        t1 = time.perf_counter()
+        emb = model.compute_embeddings()
+        losses_fn = self._planned_losses if self._use_planned else self._flat_losses
+        loss_a, loss_b, aux_a, aux_b = losses_fn(emb, batch_a, batch_b, draws)
         loss = total_loss(loss_a, loss_b, aux_a, aux_b, cfg.beta, cfg.beta_a, cfg.beta_b)
+        t2 = time.perf_counter()
         model.zero_grad()
         loss.backward()
         if cfg.grad_clip > 0:
             clip_grad_norm(model.parameters(), cfg.grad_clip)
+        t3 = time.perf_counter()
         self.optimizer.step()
         model.invalidate_cache()
+        t4 = time.perf_counter()
+        for phase, spent in (
+            ("sampling", t1 - t0), ("forward", t2 - t1),
+            ("backward", t3 - t2), ("optimizer", t4 - t3),
+        ):
+            self._phase_totals[phase] = self._phase_totals.get(phase, 0.0) + spent
         return {
             "L_A": float(loss_a.data),
             "L_B": float(loss_b.data),
@@ -261,6 +504,7 @@ class Trainer:
         self.model.train()
         started = time.perf_counter()
         totals: Dict[str, float] = {}
+        self._phase_totals = {}
         steps = 0
         for pair in self._paired_batches():
             losses = self._step(pair["a"], pair["b"])
@@ -272,6 +516,7 @@ class Trainer:
             epoch=self._epoch,
             losses={k: v / steps for k, v in totals.items()},
             seconds=time.perf_counter() - started,
+            phases={k: round(v, 4) for k, v in self._phase_totals.items()},
         )
         if (
             self._validation_protocol is not None

@@ -296,3 +296,41 @@ class TestGatherScatter:
         rows = tensor(np.ones((3, 2)), requires_grad=True)
         out = scatter_rows_sum(rows, np.array([1, 1, 0]), 3)
         np.testing.assert_allclose(out.data, [[1, 1], [2, 2], [0, 0]])
+
+    @pytest.mark.parametrize("shape_tail", [(), (4,), (3, 5)])
+    def test_scatter_rows_add_bit_identical_to_add_at(self, rng, shape_tail):
+        # The CSR fast path must be indistinguishable from np.add.at —
+        # duplicate indices accumulate in occurrence order — across the
+        # small-scatter fallback and the sparse-matmul path, any grad
+        # rank, and a narrower grad dtype.
+        from repro.nn.tensor import _scatter_rows_add
+
+        for n, dtype in ((37, np.float64), (4096, np.float64), (4096, np.float32)):
+            idx = rng.integers(0, 19, size=n)
+            grad = rng.normal(size=(n,) + shape_tail).astype(dtype)
+            reference = np.zeros((19,) + shape_tail)
+            np.add.at(reference, idx, grad)
+            fast = _scatter_rows_add(idx, grad, 19, np.float64)
+            np.testing.assert_array_equal(fast, reference)
+
+    def test_scatter_rows_add_negative_and_empty_index(self, rng):
+        from repro.nn.tensor import _scatter_rows_add
+
+        empty = _scatter_rows_add(np.array([], dtype=np.int64), np.zeros((0, 2)), 3, np.float64)
+        np.testing.assert_array_equal(empty, np.zeros((3, 2)))
+        # Negative indices alias positive rows of the same buffer; the
+        # add.at fallback must resolve them identically.
+        idx = np.concatenate([rng.integers(-4, 4, size=600)])
+        grad = rng.normal(size=(600, 2))
+        reference = np.zeros((4, 2))
+        np.add.at(reference, idx, grad)
+        np.testing.assert_array_equal(
+            _scatter_rows_add(idx, grad, 4, np.float64), reference
+        )
+
+    def test_getitem_int_vector_gradient_scatter_adds(self, rng):
+        source = tensor(rng.normal(size=(5,)), requires_grad=True)
+        idx = np.array([0, 3, 3, 1, 0, 0])
+        gathered = source[idx]
+        gathered.backward(np.ones(len(idx)))
+        np.testing.assert_allclose(source.grad, [3.0, 1.0, 0.0, 2.0, 0.0])

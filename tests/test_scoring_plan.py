@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import GBMF, NGCF
-from repro.core import MGBR, MGBRConfig, ScoringPlan
+from repro.core import MGBR, MGBRConfig, PlannedBatch, ScoringPlan
 from repro.data import NegativePool, NegativeSampler
 from repro.eval import EvalProtocol
 from repro.nn.layers import Linear
@@ -118,8 +118,180 @@ class TestPlanInvariants:
 
 
 # ----------------------------------------------------------------------
-# Factorized stack vs dense stack
+# PlannedBatch: heterogeneous training segments in one plan
 # ----------------------------------------------------------------------
+class TestPlannedBatch:
+    def _segments(self):
+        return {
+            "pos": (np.array([0, 1]), np.array([3, 4]), None, (2,)),
+            "neg": (
+                np.array([0, 0, 1, 1]), np.array([5, 3, 4, 6]), None, (2, 2)
+            ),
+            "aux": (
+                np.array([0, 0, 1, 1]), np.array([3, 3, 4, 4]),
+                np.array([2, 7, 2, 7]), (2, 2),
+            ),
+        }
+
+    def test_mixed_segments_reconstruct_ids(self):
+        batch = PlannedBatch.build(self._segments(), sentinel=9)
+        plan = batch.plan
+        assert plan.is_triple
+        # The sentinel fills the pair segments and sorts last among the
+        # unique participants.
+        assert plan.unique_participants[-1] == 9
+        flat_u = batch.scatter(plan.users)
+        flat_i = batch.scatter(plan.items)
+        flat_p = batch.scatter(plan.participants)
+        np.testing.assert_array_equal(batch.take(flat_u, "pos"), [0, 1])
+        np.testing.assert_array_equal(batch.take(flat_i, "neg"), [[5, 3], [4, 6]])
+        np.testing.assert_array_equal(batch.take(flat_p, "aux"), [[2, 7], [2, 7]])
+        np.testing.assert_array_equal(batch.take(flat_p, "pos"), [9, 9])
+        # Duplicate (u, i, p) requests collapse: aux repeats (0,3,2) etc.
+        assert plan.n_pairs < batch.n_flat
+
+    def test_all_pair_segments_build_pair_plan(self):
+        segments = {
+            "pos": (np.array([0, 1]), np.array([1, 1]), None, (2,)),
+            "neg": (np.array([0, 1]), np.array([2, 2]), None, (2,)),
+        }
+        batch = PlannedBatch.build(segments)  # no sentinel needed
+        assert not batch.plan.is_triple
+        assert batch.plan.participants is None
+
+    def test_scatter_and_take_work_on_tensors(self):
+        batch = PlannedBatch.build(self._segments(), sentinel=9)
+        scores = tensor(
+            np.arange(batch.plan.n_pairs, dtype=np.float64), requires_grad=True
+        )
+        flat = batch.scatter(scores)
+        neg = batch.take(flat, "neg")
+        assert neg.shape == (2, 2)
+        neg.sum().backward()
+        # Every unique request referenced by the neg segment got grad 1.
+        assert scores.grad is not None and scores.grad.sum() == 4.0
+        np.testing.assert_array_equal(
+            neg.data, batch.scatter(scores.data.copy())[
+                batch.segments["neg"][0]: batch.segments["neg"][0] + 4
+            ].reshape(2, 2),
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            PlannedBatch.build({})
+        with pytest.raises(ValueError):  # mixed segments without sentinel
+            PlannedBatch.build({
+                "a": (np.array([0]), np.array([1]), None, (1,)),
+                "b": (np.array([0]), np.array([1]), np.array([2]), (1,)),
+            })
+        with pytest.raises(ValueError):  # length != prod(shape)
+            PlannedBatch.build({
+                "a": (np.array([0, 1]), np.array([1, 2]), None, (3,)),
+            })
+        with pytest.raises(ValueError):  # participants shape mismatch
+            PlannedBatch.build({
+                "a": (np.array([0, 1]), np.array([1, 2]), np.array([3]), (2,)),
+            })
+
+
+# ----------------------------------------------------------------------
+# Auto dedup: the plan-aware cheap-model heuristic
+# ----------------------------------------------------------------------
+class TestAutoDedup:
+    def test_model_cost_hints(self, tiny_dataset, tiny_mgbr):
+        gbmf = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=2)
+        assert gbmf.scoring_cost_hint == 1.0
+        assert tiny_mgbr.scoring_cost_hint >= 8.0
+        assert tiny_mgbr.prefers_planned() and not gbmf.prefers_planned()
+        # Heavy duplication tips even a cheap model into planning.
+        assert gbmf.prefers_planned(duplication_hint=50.0)
+        assert gbmf.resolve_dedup("auto") is False
+        assert gbmf.resolve_dedup(True) is True
+        assert tiny_mgbr.resolve_dedup("auto") is True
+
+    def test_protocol_auto_matches_loop_for_both_models(self, tiny_dataset, tiny_mgbr):
+        protocol = EvalProtocol(tiny_dataset, n_negatives=9, cutoff=10, max_instances=30)
+        assert protocol.dedup == "auto"
+        gbmf = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=2)
+        assert not protocol._resolve_dedup(gbmf)
+        assert protocol._resolve_dedup(tiny_mgbr)
+        for model in (gbmf, tiny_mgbr):
+            assert protocol.run(model).flat() == (
+                protocol.run_per_instance(model).flat()
+            )
+
+    def test_matrix_scorer_auto_matches_forced_paths(self, tiny_dataset, tiny_mgbr):
+        rng = np.random.default_rng(5)
+        users = rng.integers(0, tiny_dataset.n_users, size=7)
+        cands = rng.integers(0, tiny_dataset.n_items, size=(7, 5))
+        with no_grad():
+            tiny_mgbr.refresh_cache()
+            auto = tiny_mgbr.score_items_matrix(users, cands)
+            forced = tiny_mgbr.score_items_matrix(users, cands, dedup=True)
+            flat = tiny_mgbr.score_items_matrix(users, cands, dedup=False)
+        np.testing.assert_array_equal(auto, forced)
+        np.testing.assert_allclose(auto, flat, rtol=1e-10, atol=1e-12)
+
+    def test_protocol_rejects_bad_dedup(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            EvalProtocol(tiny_dataset, dedup="maybe")
+
+
+# ----------------------------------------------------------------------
+# Joint planned logits: both towers from one mixed plan
+# ----------------------------------------------------------------------
+class TestJointPlannedLogits:
+    def test_joint_matches_flat_scorers_on_mixed_plan(self, tiny_dataset, small_config):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        emb = model.compute_embeddings()
+        rng = np.random.default_rng(11)
+        u = rng.integers(0, tiny_dataset.n_users, size=6)
+        i = rng.integers(0, tiny_dataset.n_items, size=6)
+        p = rng.integers(0, tiny_dataset.n_users, size=6)
+        batch = PlannedBatch.build(
+            {
+                "pairs": (u, i, None, (6,)),       # mean-participant slot
+                "triples": (u, i, p, (6,)),        # explicit participants
+            },
+            sentinel=model.mean_participant_id,
+        )
+        logits_a, logits_b = model.planned_joint_logits(emb, batch.plan)
+        flat_a = batch.scatter(logits_a)
+        flat_b = batch.scatter(logits_b)
+        ref_pairs = model.score_items_from(emb, u, i, raw=True)
+        ref_triples_a = model.score_items_from(emb, u, i, participants=p, raw=True)
+        ref_b = model.score_participants_from(emb, u, i, p, raw=True)
+        np.testing.assert_allclose(
+            batch.take(flat_a, "pairs").data, ref_pairs.data, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            batch.take(flat_a, "triples").data, ref_triples_a.data,
+            rtol=1e-10, atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            batch.take(flat_b, "triples").data, ref_b.data, rtol=1e-10, atol=1e-12
+        )
+
+    def test_gradients_flow_through_joint_plan(self, tiny_dataset, small_config):
+        model = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        emb = model.compute_embeddings()
+        batch = PlannedBatch.build(
+            {"pairs": (np.array([0, 1, 0]), np.array([2, 3, 2]), None, (3,))},
+            sentinel=model.mean_participant_id,
+        )
+        logits_a, logits_b = model.planned_joint_logits(emb, batch.plan)
+        (batch.scatter(logits_a).sum() + batch.scatter(logits_b).sum()).backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        # Everything except the final layer's unused shared-gate
+        # projection (whose g_s output is discarded) receives gradient —
+        # identical to the dense path's coverage.
+        assert sum(grads) >= len(grads) - 1
 VARIANT_CONFIGS = {
     "full": dict(),
     "compact_first_layer": dict(first_layer_compact=True),

@@ -126,6 +126,137 @@ class TestTrainerLoop:
             Trainer(model, empty, _fast_config())
 
 
+def _clone_pair(builder, dataset, **config_kw):
+    """Two identically-initialised (model, trainer) pairs, flat vs planned."""
+    out = []
+    for dedup in (False, True):
+        model = builder()
+        config = _fast_config(epochs=1, dedup=dedup, **config_kw)
+        out.append((model, Trainer(model, dataset, config)))
+    return out
+
+
+def _epoch_grads_and_state(model, trainer):
+    record = trainer.train_epoch()
+    grads = {
+        name: param.grad.copy()
+        for name, param in model.named_parameters()
+        if param.grad is not None
+    }
+    return record, grads, model.state_dict()
+
+
+class TestPlannedStepParity:
+    """The tentpole guarantee: the planned (dedup + factorized) _step is
+    the same optimisation as the flat _step.
+
+    GBMF's planned path is pure pair dedup — every loss row is the same
+    float computation on the same operands, so its losses are
+    *bit-identical* and grads/weights differ only by gradient
+    accumulation order (single-ulp).  MGBR's factorized layer-0
+    re-associates ``W·[e_u;e_i;e_p]`` into per-entity partial sums, so
+    its parity is float-re-association-tight instead of bitwise.
+    """
+
+    def test_gbmf_losses_bit_identical_grads_to_ulp(self, tiny_dataset):
+        (m_flat, t_flat), (m_plan, t_plan) = _clone_pair(
+            lambda: GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0),
+            tiny_dataset,
+        )
+        rec_flat, grads_flat, state_flat = _epoch_grads_and_state(m_flat, t_flat)
+        rec_plan, grads_plan, state_plan = _epoch_grads_and_state(m_plan, t_plan)
+        assert rec_plan.losses == rec_flat.losses  # bitwise, a full epoch
+        assert grads_plan.keys() == grads_flat.keys()
+        for name in grads_flat:
+            np.testing.assert_allclose(
+                grads_plan[name], grads_flat[name], rtol=1e-12, atol=1e-14,
+                err_msg=f"grad {name}",
+            )
+        for name in state_flat:
+            np.testing.assert_allclose(
+                state_plan[name], state_flat[name], rtol=1e-12, atol=1e-14,
+                err_msg=f"post-Adam weight {name}",
+            )
+
+    @pytest.mark.parametrize("aux_a_mode", ["literal", "listnet"])
+    def test_mgbr_parity_with_aux_losses(self, tiny_dataset, small_config, aux_a_mode):
+        builder = lambda: MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        (m_flat, t_flat), (m_plan, t_plan) = _clone_pair(
+            builder, tiny_dataset, aux_a_mode=aux_a_mode
+        )
+        assert not t_flat._use_planned and t_plan._use_planned
+        rec_flat, grads_flat, state_flat = _epoch_grads_and_state(m_flat, t_flat)
+        rec_plan, grads_plan, state_plan = _epoch_grads_and_state(m_plan, t_plan)
+        assert rec_plan.losses["L'_A"] > 0  # aux losses actually engaged
+        for key in rec_flat.losses:
+            assert rec_plan.losses[key] == pytest.approx(
+                rec_flat.losses[key], rel=1e-10, abs=1e-12
+            ), key
+        assert grads_plan.keys() == grads_flat.keys()
+        for name in grads_flat:
+            np.testing.assert_allclose(
+                grads_plan[name], grads_flat[name], rtol=1e-6, atol=1e-9,
+                err_msg=f"grad {name}",
+            )
+        for name in state_flat:
+            np.testing.assert_allclose(
+                state_plan[name], state_flat[name], rtol=1e-6, atol=1e-9,
+                err_msg=f"post-Adam weight {name}",
+            )
+
+    def test_mgbr_r_variant_parity_without_aux(self, tiny_dataset, small_config):
+        # No corruption segments: the joint plan still mixes sentinel
+        # (Task-A) and explicit (Task-B) participant slots.
+        from repro.core import build_variant
+
+        builder = lambda: build_variant(
+            "MGBR-R", tiny_dataset.train, tiny_dataset.n_users,
+            tiny_dataset.n_items, base=small_config,
+        )
+        (m_flat, t_flat), (m_plan, t_plan) = _clone_pair(builder, tiny_dataset)
+        rec_flat = t_flat.train_epoch()
+        rec_plan = t_plan.train_epoch()
+        assert rec_plan.losses["L'_A"] == rec_flat.losses["L'_A"] == 0.0
+        for key in rec_flat.losses:
+            assert rec_plan.losses[key] == pytest.approx(
+                rec_flat.losses[key], rel=1e-10, abs=1e-12
+            ), key
+
+    def test_auto_dedup_resolution(self, tiny_dataset, small_config):
+        mgbr = MGBR(
+            tiny_dataset.train, tiny_dataset.n_users, tiny_dataset.n_items,
+            config=small_config,
+        )
+        gbmf = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        assert Trainer(mgbr, tiny_dataset, _fast_config())._use_planned
+        assert not Trainer(gbmf, tiny_dataset, _fast_config())._use_planned
+        assert Trainer(gbmf, tiny_dataset, _fast_config(dedup=True))._use_planned
+        assert not Trainer(mgbr, tiny_dataset, _fast_config(dedup=False))._use_planned
+        with pytest.raises(ValueError):
+            _fast_config(dedup="sometimes")
+
+    def test_phase_timing_recorded_and_rendered(self, tiny_dataset):
+        model = GBMF(tiny_dataset.n_users, tiny_dataset.n_items, dim=8, seed=0)
+        record = Trainer(model, tiny_dataset, _fast_config(epochs=1)).train_epoch()
+        assert set(record.phases) == {"sampling", "forward", "backward", "optimizer"}
+        assert all(v >= 0.0 for v in record.phases.values())
+        # Phases are rounded to 4 decimals, so their sum may exceed the
+        # epoch wall-clock by up to n_phases * 5e-5 of rounding.
+        assert sum(record.phases.values()) <= record.seconds + 1e-3
+        line = record.line()
+        assert "sam" in line and "opt" in line
+
+    def test_phase_timing_json_round_trip(self, tmp_path):
+        h = History()
+        h.append(EpochRecord(1, {"total": 1.0}, seconds=2.0,
+                             phases={"sampling": 0.5, "forward": 1.5}))
+        loaded = History.from_json(h.to_json(tmp_path / "hist.json"))
+        assert loaded.records[0].phases == {"sampling": 0.5, "forward": 1.5}
+
+
 class TestHistory:
     def test_append_monotone_epochs(self):
         h = History()
