@@ -1,0 +1,176 @@
+"""Shard-gather benchmark: throughput and memory model of ShardedStore.
+
+Measures the two quantities the sharded embedding layer trades between
+(docs/sharding.md):
+
+* **Gather throughput** — rows/sec answering planned-style gathers
+  (sorted unique id chunks, the exact shape
+  :class:`repro.plan.ScoringPlan` produces) from a
+  :class:`repro.store.DenseStore` vs a :class:`repro.store.ShardedStore`
+  at several shard counts, plus the differentiable round trip (gather →
+  scatter-add backward) that dominates the planned training step.
+* **Peak per-shard resident rows** — what one shard worker must hold:
+  its owned block (≤ ``ceil(rows / n_shards)`` by construction) plus
+  the largest transient gather it ever answered (≤ the chunk size — the
+  "chunk slack").  This is the number that says a catalog bigger than
+  one machine's RAM fits once shards live in separate processes.
+
+Values gathered from shards are asserted bit-identical to the dense
+table, and the resident-row bound is asserted per shard count.
+
+Writes ``BENCH_shard_gather.json`` at the repository root.  Run
+directly (``PYTHONPATH=src python benchmarks/bench_shard_gather.py``);
+``--smoke`` runs a seconds-scale configuration and skips the artifact.
+Environment knobs: ``REPRO_BENCH_SHARD_ROWS / DIM / CHUNK / ROUNDS``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.tensor import no_grad
+from repro.store import DenseStore, ShardedStore
+
+ROWS = int(os.environ.get("REPRO_BENCH_SHARD_ROWS", "200000"))
+DIM = int(os.environ.get("REPRO_BENCH_SHARD_DIM", "64"))
+CHUNK = int(os.environ.get("REPRO_BENCH_SHARD_CHUNK", "4096"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_SHARD_ROUNDS", "3"))
+
+SHARD_COUNTS = (2, 4, 8)
+SEED = 13
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard_gather.json"
+
+
+def _chunks(rng: np.random.Generator):
+    """Planned-style gather chunks: sorted unique ids, CHUNK rows each."""
+    ids = rng.permutation(ROWS)
+    for start in range(0, ROWS, CHUNK):
+        yield np.sort(ids[start : start + CHUNK])
+
+
+def _time_gathers(store, rng: np.random.Generator) -> dict:
+    """Rows/sec for forward-only and forward+backward planned gathers."""
+    with no_grad():  # warm-up (allocator, partition tables)
+        store.gather(np.arange(min(CHUNK, ROWS), dtype=np.int64))
+
+    rows_done = 0
+    started = time.perf_counter()
+    with no_grad():
+        for _ in range(ROUNDS):
+            for chunk in _chunks(rng):
+                store.gather(chunk)
+                rows_done += len(chunk)
+    forward_seconds = time.perf_counter() - started
+
+    grad_rows = 0
+    started = time.perf_counter()
+    for chunk in _chunks(rng):
+        out = store.gather(chunk)
+        out.sum().backward()
+        for _, param in store.named_parameters():
+            param.zero_grad()
+        grad_rows += len(chunk)
+    train_seconds = time.perf_counter() - started
+
+    return {
+        "forward_rows_per_sec": round(rows_done / forward_seconds, 1),
+        "train_rows_per_sec": round(grad_rows / train_seconds, 1),
+    }
+
+
+def _bench_sharded(values: np.ndarray, dense_ref: np.ndarray, n_shards: int) -> dict:
+    rng = np.random.default_rng(SEED)
+    store = ShardedStore(values, n_shards, "range")
+    timing = _time_gathers(store, rng)
+
+    # Parity: one full sweep of chunks must reproduce the dense rows.
+    check = np.sort(np.random.default_rng(SEED + 1).permutation(ROWS)[:CHUNK])
+    with no_grad():
+        gathered = store.gather(check).data
+    assert np.array_equal(gathered, dense_ref[check]), "sharded gather diverged"
+
+    resident = store.resident_rows()
+    ceil_bound = math.ceil(ROWS / n_shards)
+    peak = max(resident) + store.stats["max_shard_gather_rows"]
+    return {
+        "n_shards": n_shards,
+        **timing,
+        "resident_rows_per_shard": resident,
+        "ceil_rows_over_shards": ceil_bound,
+        "max_shard_gather_rows": store.stats["max_shard_gather_rows"],
+        "peak_resident_rows": peak,
+        "peak_bound": ceil_bound + CHUNK,
+        "shard_touches_per_gather": round(
+            store.stats["shard_touches"] / max(store.stats["gathers"], 1), 3
+        ),
+    }
+
+
+def run_benchmark() -> dict:
+    rng = np.random.default_rng(SEED)
+    values = rng.normal(size=(ROWS, DIM))
+    dense = DenseStore(values)
+    dense_timing = _time_gathers(dense, np.random.default_rng(SEED))
+    report = {
+        "config": {"rows": ROWS, "dim": DIM, "chunk": CHUNK, "rounds": ROUNDS},
+        "dense": {
+            **dense_timing,
+            "resident_rows": ROWS,
+        },
+        "sharded": [
+            _bench_sharded(values, dense.weight.data, n) for n in SHARD_COUNTS
+        ],
+    }
+    for entry in report["sharded"]:
+        entry["forward_vs_dense"] = round(
+            entry["forward_rows_per_sec"] / report["dense"]["forward_rows_per_sec"], 3
+        )
+    return report
+
+
+def check_report(report: dict) -> None:
+    """The acceptance gates the CI smoke run also exercises."""
+    for entry in report["sharded"]:
+        n = entry["n_shards"]
+        assert entry["peak_resident_rows"] <= entry["peak_bound"], (
+            f"{n}-shard peak resident rows {entry['peak_resident_rows']} exceeds "
+            f"ceil(rows/{n}) + chunk = {entry['peak_bound']}"
+        )
+        assert max(entry["resident_rows_per_shard"]) <= entry["ceil_rows_over_shards"]
+        # Sharding buys memory, not speed — but the per-shard regrouping
+        # must stay within a small constant factor of the dense gather.
+        assert entry["forward_vs_dense"] > 0.1, (
+            f"{n}-shard gather collapsed to {entry['forward_vs_dense']}x dense"
+        )
+
+
+def test_shard_gather():
+    """Per-shard resident rows bounded; gathers bit-identical to dense."""
+    report = run_benchmark()
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    check_report(report)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run (small table, 1 round); skips the JSON artifact",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        ROWS, DIM, CHUNK, ROUNDS = 20000, 16, 1024, 1
+    result = run_benchmark()
+    check_report(result)
+    if not args.smoke:
+        OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

@@ -16,6 +16,8 @@ Layout
                     adjusted gates, prediction heads, all four losses,
                     and the paper's five ablation variants
 ``repro.baselines`` DeepMF, NGCF, DiffNet, EATNN, GBGCN, GBMF
+``repro.store``     embedding storage layouts: dense tables and
+                    hash/range-sharded stores with plan-driven gathers
 ``repro.training``  joint two-task trainer, checkpoints, histories
 ``repro.analysis``  parameter counts, epoch timing, hyper-parameter sweeps
 """

@@ -34,7 +34,7 @@ the participant's and the initiator's user embeddings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -42,8 +42,36 @@ from repro.plan import ScoringPlan
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, take_rows
+from repro.store import EmbeddingStore, iter_stores
 
-__all__ = ["EmbeddingBundle", "GroupBuyingRecommender"]
+__all__ = ["EmbeddingBundle", "GroupBuyingRecommender", "bundle_rows", "as_matrix"]
+
+#: A bundle slot: either a materialised tensor (encoder output / dense
+#: table) or a sharded/dense :class:`repro.store.EmbeddingStore` whose
+#: rows are gathered on demand — the layout serving catalogs beyond one
+#: table's worth of RAM.
+BundleSource = Union[Tensor, EmbeddingStore]
+
+
+def bundle_rows(source: BundleSource, index, plan=None, role: Optional[str] = None) -> Tensor:
+    """Gather rows from a bundle slot, whatever its storage layout.
+
+    Tensors take the plain :func:`repro.nn.tensor.take_rows` gather;
+    embedding stores answer from their shards (touching each shard once
+    per call).  ``plan``/``role`` optionally name a
+    :class:`repro.plan.ScoringPlan` id array so the store reuses the
+    plan's cached per-shard gather map.
+    """
+    if isinstance(source, EmbeddingStore):
+        return source.gather(index, plan=plan, role=role)
+    return take_rows(source, np.asarray(index, dtype=np.int64))
+
+
+def as_matrix(source: BundleSource) -> np.ndarray:
+    """A bundle slot's full table as a raw array (analysis/plotting)."""
+    if isinstance(source, EmbeddingStore):
+        return source.logical_state()
+    return np.asarray(source.data)
 
 
 @dataclass
@@ -59,11 +87,16 @@ class EmbeddingBundle:
     participant:
         ``(|U|, d_p)`` participant-role user embeddings; models without
         role separation pass the same tensor as ``user``.
+
+    Each slot is either a tensor or an :class:`repro.store
+    .EmbeddingStore` (a table-only model can hand its store straight to
+    the scoring paths, which then gather per shard instead of reading a
+    materialised table) — read rows via :func:`bundle_rows`.
     """
 
-    user: Tensor
-    item: Tensor
-    participant: Tensor
+    user: BundleSource
+    item: BundleSource
+    participant: BundleSource
     _mean_participant: Optional[Tensor] = field(default=None, repr=False, compare=False)
 
     def mean_participant(self) -> Tensor:
@@ -73,9 +106,14 @@ class EmbeddingBundle:
         reduction for every scored request; caching it on the bundle
         keeps the O(|U|·d) pass off the per-chunk hot path (as a shared
         autograd sub-expression its gradient still accumulates
-        correctly in training)."""
+        correctly in training).  A store-backed slot materialises its
+        logical table for the reduction — bit-identical to the dense
+        mean, since store concatenation reassembles the exact table."""
         if self._mean_participant is None:
-            self._mean_participant = self.participant.mean(axis=0, keepdims=True)
+            participant = self.participant
+            if isinstance(participant, EmbeddingStore):
+                participant = participant.all()
+            self._mean_participant = participant.mean(axis=0, keepdims=True)
         return self._mean_participant
 
 
@@ -107,20 +145,25 @@ class GroupBuyingRecommender(Module):
         """One differentiable encoder pass over all entities."""
         raise NotImplementedError
 
-    def score_items_from(self, emb: EmbeddingBundle, users, items, raw: bool = False) -> Tensor:
+    def score_items_from(
+        self, emb: EmbeddingBundle, users, items, raw: bool = False, plan=None
+    ) -> Tensor:
         """Task A scores ``s(i|u)`` for paired index arrays → ``(batch,)``.
 
         Default: the user-item inner product, the standard CF scoring the
         MF-style baselines use.  ``raw=True`` returns the logits (the
         training losses consume these); otherwise σ-probabilities.
+        ``plan`` optionally carries the :class:`repro.plan.ScoringPlan`
+        the index arrays came from, so store-backed bundles reuse its
+        cached per-shard gather maps.
         """
-        e_u = take_rows(emb.user, users)
-        e_i = take_rows(emb.item, items)
+        e_u = bundle_rows(emb.user, users, plan=plan, role="pair_users")
+        e_i = bundle_rows(emb.item, items, plan=plan, role="pair_items")
         logits = (e_u * e_i).sum(axis=1)
         return logits if raw else F.sigmoid(logits)
 
     def score_participants_from(
-        self, emb: EmbeddingBundle, users, items, participants, raw: bool = False
+        self, emb: EmbeddingBundle, users, items, participants, raw: bool = False, plan=None
     ) -> Tensor:
         """Task B scores ``s(p|u,i)`` → ``(batch,)``.
 
@@ -129,8 +172,8 @@ class GroupBuyingRecommender(Module):
         item is ignored by models with no Task-B head).
         """
         del items
-        e_u = take_rows(emb.user, users)
-        e_p = take_rows(emb.participant, participants)
+        e_u = bundle_rows(emb.user, users, plan=plan, role="pair_users")
+        e_p = bundle_rows(emb.participant, participants, plan=plan, role="pair_participants")
         logits = (e_u * e_p).sum(axis=1)
         return logits if raw else F.sigmoid(logits)
 
@@ -226,14 +269,25 @@ class GroupBuyingRecommender(Module):
         does not route here).
         """
         if type(self).score_items is GroupBuyingRecommender.score_items:
-            return self.score_items_from(emb, plan.users, plan.items, raw=True)
+            kwargs = (
+                {"plan": plan}
+                if type(self).score_items_from is GroupBuyingRecommender.score_items_from
+                else {}
+            )
+            return self.score_items_from(emb, plan.users, plan.items, raw=True, **kwargs)
         return self.score_items(plan.users, plan.items)
 
     def _score_participant_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
         """Score a plan's unique (u, i, p) requests → ``(P,)`` tensor."""
         if type(self).score_participants is GroupBuyingRecommender.score_participants:
+            kwargs = (
+                {"plan": plan}
+                if type(self).score_participants_from
+                is GroupBuyingRecommender.score_participants_from
+                else {}
+            )
             return self.score_participants_from(
-                emb, plan.users, plan.items, plan.participants, raw=True
+                emb, plan.users, plan.items, plan.participants, raw=True, **kwargs
             )
         return self.score_participants(plan.users, plan.items, plan.participants)
 
@@ -337,7 +391,14 @@ class GroupBuyingRecommender(Module):
         """Detached role-keyed embedding matrices for analysis/plotting."""
         bundle = self._bundle()
         return {
-            "initiator": np.array(bundle.user.data),
-            "item": np.array(bundle.item.data),
-            "participant": np.array(bundle.participant.data),
+            "initiator": np.array(as_matrix(bundle.user)),
+            "item": np.array(as_matrix(bundle.item)),
+            "participant": np.array(as_matrix(bundle.participant)),
         }
+
+    # ------------------------------------------------------------------
+    # Storage introspection (serving observability, shard checkpoints)
+    # ------------------------------------------------------------------
+    def embedding_stores(self) -> Dict[str, "EmbeddingStore"]:
+        """``module_path -> store`` for every store-backed table in the tree."""
+        return dict(iter_stores(self))

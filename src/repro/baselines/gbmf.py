@@ -33,17 +33,43 @@ class GBMF(GroupBuyingRecommender):
     n_users / n_items: entity counts.
     dim: latent factor width.
     seed: initialisation seed.
+    n_shards / partition: storage layout of the three tables
+        (:mod:`repro.store`); with ``n_shards >= 2`` the scoring paths
+        gather rows straight from the shard workers and no full table is
+        ever materialised — scores stay bit-identical to dense because
+        gathers copy exact rows.
     """
 
-    def __init__(self, n_users: int, n_items: int, dim: int = 32, seed: SeedLike = 0) -> None:
+    def __init__(
+        self,
+        n_users: int,
+        n_items: int,
+        dim: int = 32,
+        seed: SeedLike = 0,
+        n_shards: int = 0,
+        partition: str = "range",
+    ) -> None:
         super().__init__(n_users, n_items)
         rngs = spawn_rngs(seed, 3)
-        self.initiator_table = Embedding(n_users, dim, seed=rngs[0])
-        self.participant_table = Embedding(n_users, dim, seed=rngs[1])
-        self.item_table = Embedding(n_items, dim, seed=rngs[2])
+        self.initiator_table = Embedding(n_users, dim, seed=rngs[0], n_shards=n_shards, partition=partition)
+        self.participant_table = Embedding(n_users, dim, seed=rngs[1], n_shards=n_shards, partition=partition)
+        self.item_table = Embedding(n_items, dim, seed=rngs[2], n_shards=n_shards, partition=partition)
+        self._sharded = n_shards >= 2
 
     def compute_embeddings(self) -> EmbeddingBundle:
-        """MF has no encoder — the tables are the representations."""
+        """MF has no encoder — the tables are the representations.
+
+        Dense layouts hand the scoring paths the materialised tables
+        (the historical behaviour, and ``all()`` is free there);
+        sharded layouts hand them the stores, so every score reads only
+        the rows its plan touches — one gather per shard per call.
+        """
+        if self._sharded:
+            return EmbeddingBundle(
+                user=self.initiator_table.store,
+                item=self.item_table.store,
+                participant=self.participant_table.store,
+            )
         return EmbeddingBundle(
             user=self.initiator_table.all(),
             item=self.item_table.all(),

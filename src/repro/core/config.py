@@ -100,6 +100,17 @@ class MGBRConfig:
     #: (see repro.nn.tensor.dtype_scope / repro.eval.protocol).
     inference_dtype: str = "float64"
 
+    # --- storage layout -------------------------------------------------
+    #: Shard count for every layer-0 embedding table (the GCN feature
+    #: tables).  0/1 keeps the dense single-table layout; >= 2 partitions
+    #: each table across a :class:`repro.store.ShardedStore` — scores,
+    #: losses and trained weights are bit-identical to dense at float64
+    #: for any count, so the knob is purely a memory-layout decision.
+    embedding_shards: int = 0
+    #: Row-to-shard assignment: "range" (contiguous blocks) or "hash"
+    #: (modulo striping); see :class:`repro.store.Partitioner`.
+    embedding_partition: str = "range"
+
     def __post_init__(self) -> None:
         if self.d <= 0:
             raise ValueError(f"embedding dim d must be positive, got {self.d}")
@@ -123,6 +134,14 @@ class MGBRConfig:
         if self.inference_dtype not in ("float32", "float64"):
             raise ValueError(
                 f"inference_dtype must be float32|float64, got {self.inference_dtype!r}"
+            )
+        if self.embedding_shards < 0:
+            raise ValueError(
+                f"embedding_shards must be >= 0, got {self.embedding_shards}"
+            )
+        if self.embedding_partition not in ("range", "hash"):
+            raise ValueError(
+                f"embedding_partition must be range|hash, got {self.embedding_partition!r}"
             )
         if self.mlp_hidden is None:
             self.mlp_hidden = (self.d, max(self.d // 2, 1))

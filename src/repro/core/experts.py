@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, stack
@@ -48,6 +50,7 @@ class ExpertBank(Module):
             expert = Linear(in_dim, out_dim, bias=False, seed=rng)
             setattr(self, f"expert{k}", expert)
             self._experts.append(expert)
+        self._bank_fold_cache = {}  # blocks -> (expert versions, stacked ndarray)
 
     def forward(self, gate_state: Tensor) -> Tensor:
         """Apply every expert to ``gate_state`` → ``(batch, K, d)``.
@@ -72,5 +75,53 @@ class ExpertBank(Module):
         expert bank; the scoring plan computes it once per unique entity
         and gathers per pair, which is where the layer-0 FLOP cut comes
         from (Eq. 7-9 distribute over the concatenation).
+
+        The ``K`` per-expert folds are stacked column-wise into one
+        ``(width, K·d)`` weight so the whole bank is a *single* matmul
+        (ROADMAP "Planned-step follow-ons": one stacked GEMM per bank
+        instead of ``K`` thin ones, and one fused scatter on the way
+        back); results match the per-expert loop up to BLAS
+        re-association (see tests/test_fold_cache.py's parity test).
         """
-        return stack([expert.project_blocks(x, blocks) for expert in self._experts], axis=1)
+        key = self._experts[0].check_blocks(x, blocks)
+        return (x @ self._stacked_folds(key)).reshape(x.shape[0], self.n_experts, self.out_dim)
+
+    def _stacked_folds(self, blocks) -> Tensor:
+        """Column-stacked fold weights ``(width, K·d)``, cached like
+        :meth:`repro.nn.layers.Linear.folded_blocks`.
+
+        Values are cached per block set keyed on the tuple of expert
+        weight versions (any optimizer step or state load bumps them);
+        every call returns a fresh graph node whose backward slices the
+        ``(width, K·d)`` gradient into per-expert columns and adds each
+        into that expert's weight blocks, so cached values can never be
+        stale and cached nodes are never shared between graphs.
+        """
+        versions = tuple(expert.weight.version for expert in self._experts)
+        entry = self._bank_fold_cache.get(blocks)
+        if entry is None or entry[0] != versions:
+            folds = []
+            for expert in self._experts:
+                folded = np.ascontiguousarray(
+                    expert.weight.data[blocks[0][0] : blocks[0][1]]
+                )
+                for start, stop in blocks[1:]:
+                    folded = folded + expert.weight.data[start:stop]
+                folds.append(folded)
+            entry = (versions, np.concatenate(folds, axis=1))
+            self._bank_fold_cache[blocks] = entry
+
+        weights = [expert.weight for expert in self._experts]
+        d = self.out_dim
+
+        def backward(g: np.ndarray) -> None:
+            for k, weight in enumerate(weights):
+                if not weight.requires_grad:
+                    continue
+                grad = np.zeros_like(weight.data)
+                g_k = g[:, k * d : (k + 1) * d]
+                for start, stop in blocks:
+                    grad[start:stop] += g_k
+                weight._accumulate(grad)
+
+        return Tensor._make(entry[1], tuple(weights), backward)

@@ -20,13 +20,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender
+from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender, bundle_rows
 from repro.core.config import MGBRConfig
 from repro.core.mtl import MultiTaskModule
 from repro.core.prediction import PredictionHead
 from repro.core.views import HINEmbedding, MultiViewEmbedding
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, concat, take_rows, zeros
+from repro.nn.tensor import Tensor, concat, zeros
 from repro.plan import ScoringPlan
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -66,6 +66,8 @@ class MGBR(GroupBuyingRecommender):
                 feature_std=self.config.feature_std,
                 seed=rngs[0],
                 gain=self.config.gcn_gain,
+                n_shards=self.config.embedding_shards,
+                partition=self.config.embedding_partition,
             )
         else:
             self.encoder = MultiViewEmbedding.from_groups(
@@ -76,6 +78,8 @@ class MGBR(GroupBuyingRecommender):
                 seed=rngs[0],
                 include_participant_edges=self.config.include_participant_edges,
                 gain=self.config.gcn_gain,
+                n_shards=self.config.embedding_shards,
+                partition=self.config.embedding_partition,
             )
         self.mtl = MultiTaskModule(self.config, seed=rngs[1])
         self.head_a = PredictionHead(self.config.d, self.config.mlp_hidden, seed=rngs[2])
@@ -105,13 +109,13 @@ class MGBR(GroupBuyingRecommender):
         """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
-        e_u = take_rows(emb.user, users)
-        e_i = take_rows(emb.item, items)
+        e_u = bundle_rows(emb.user, users)
+        e_i = bundle_rows(emb.item, items)
         if participants is None:
             mean_p = emb.mean_participant()       # (1, 2d), cached per bundle
             e_p = mean_p + zeros(len(users), 1)   # broadcast to batch
         else:
-            e_p = take_rows(emb.participant, np.asarray(participants, dtype=np.int64))
+            e_p = bundle_rows(emb.participant, np.asarray(participants, dtype=np.int64))
         return self.mtl(e_u, e_i, e_p)
 
     # ------------------------------------------------------------------
@@ -173,8 +177,8 @@ class MGBR(GroupBuyingRecommender):
         ``emb`` the towers back-propagate through the gathers and
         partial projections into the encoder.
         """
-        e_u = take_rows(emb.user, plan.unique_users)
-        e_i = take_rows(emb.item, plan.unique_items)
+        e_u = bundle_rows(emb.user, plan.unique_users, plan=plan, role="users")
+        e_i = bundle_rows(emb.item, plan.unique_items, plan=plan, role="items")
         if plan.participants is None:
             e_p = emb.mean_participant()  # (1, 2d), cached across chunks
             part_pos = np.zeros(plan.n_pairs, dtype=np.int64)
@@ -182,16 +186,20 @@ class MGBR(GroupBuyingRecommender):
             uniq_p = plan.unique_participants
             part_pos = plan.part_pos
             if len(uniq_p) and uniq_p[-1] == self.mean_participant_id:
+                # The sentinel is not a table row, so this gather cannot
+                # reuse the plan's cached "participants" shard map.
                 real = uniq_p[:-1]
                 mean_p = emb.mean_participant()
                 if len(real):
                     e_p = concat(
-                        [take_rows(emb.participant, real), mean_p], axis=0
+                        [bundle_rows(emb.participant, real), mean_p], axis=0
                     )
                 else:
                     e_p = mean_p
             else:
-                e_p = take_rows(emb.participant, uniq_p)
+                e_p = bundle_rows(
+                    emb.participant, uniq_p, plan=plan, role="participants"
+                )
         return self.mtl.forward_planned(
             e_u, e_i, e_p, plan.user_pos, plan.item_pos, part_pos
         )

@@ -166,13 +166,18 @@ class MTLLayer(Module):
         """Layer-0 forward with ``g⁰`` factorized over unique entities.
 
         ``e_u``/``e_i``/``e_p`` hold one row per *unique* entity of a
-        :class:`repro.plan.ScoringPlan`; the ``*_pos`` arrays map
-        each unique request onto them.  Every layer-0 linear (expert and
-        generic-gate, Eq. 7-10/14) reads a concatenation of ``g⁰``
+        :class:`repro.plan.ScoringPlan` (gathered upstream — from a
+        dense tensor or per-shard from a :class:`repro.store
+        .ShardedStore`, the stack is layout-blind); the ``*_pos`` arrays
+        map each unique request onto them.  Every layer-0 linear (expert
+        and generic-gate, Eq. 7-10/14) reads a concatenation of ``g⁰``
         copies, so ``W·[e_u; e_i; e_p] = W_u·e_u + W_i·e_i + W_p·e_p``
         distributes into per-entity partial projections computed once
         per unique entity and gather-added per request — the FLOP cut
-        that makes candidate-matrix scoring cheap.
+        that makes candidate-matrix scoring cheap.  Each bank's partial
+        projection is a single stacked matmul over cached fold weights
+        (:meth:`repro.core.experts.ExpertBank.project_blocks`), so the
+        per-entity work is one GEMM per bank rather than ``K``.
         """
         if self.compact_input:
             folds_task, folds_shared = 1, 1
@@ -309,7 +314,12 @@ class MultiTaskModule(Module):
         combines) records on the autograd tape, so the same path serves
         both inference (under ``no_grad``) and the planned *training*
         step, where gradients flow back through the ``*_pos`` gather
-        maps into the unique-entity embeddings.
+        maps into the unique-entity embeddings (and, for store-backed
+        tables, onward through the per-shard scatter-add).  The fold
+        weights behind every ``project_blocks`` call are cached across
+        the step's planned calls and evaluation chunks, keyed on
+        parameter versions so an optimizer step can never serve stale
+        folds (tests/test_fold_cache.py).
         """
         adj_logits = []
         for layer in self._layers:

@@ -48,6 +48,8 @@ class MultiViewEmbedding(Module):
         feature_std: float = 1.0,
         seed: SeedLike = None,
         gain: float = 1.0,
+        n_shards: int = 0,
+        partition: str = "range",
     ) -> None:
         super().__init__()
         self.views = views
@@ -56,18 +58,20 @@ class MultiViewEmbedding(Module):
         n_bip = views.n_nodes_bipartite
         # Each GCN binds its fixed view adjacency at construction: the
         # CSR canonicalisation (and spmm's transpose cache) happen once,
-        # not per forward pass.
+        # not per forward pass.  ``n_shards``/``partition`` choose the
+        # storage layout of each GCN's layer-0 feature table (see
+        # repro.store) without touching the propagation math.
         self.gcn_ui = GCN(
             n_bip, dim, n_layers, feature_std=feature_std, seed=rng_ui, gain=gain,
-            adjacency=views.a_ui,
+            adjacency=views.a_ui, n_shards=n_shards, partition=partition,
         )
         self.gcn_pi = GCN(
             n_bip, dim, n_layers, feature_std=feature_std, seed=rng_pi, gain=gain,
-            adjacency=views.a_pi,
+            adjacency=views.a_pi, n_shards=n_shards, partition=partition,
         )
         self.gcn_up = GCN(
             views.n_users, dim, n_layers, feature_std=feature_std, seed=rng_up, gain=gain,
-            adjacency=views.a_up,
+            adjacency=views.a_up, n_shards=n_shards, partition=partition,
         )
 
     def forward(self) -> EmbeddingBundle:
@@ -104,12 +108,17 @@ class MultiViewEmbedding(Module):
         seed: SeedLike = None,
         include_participant_edges: bool = False,
         gain: float = 1.0,
+        n_shards: int = 0,
+        partition: str = "range",
     ) -> "MultiViewEmbedding":
         """Convenience constructor building the views from deal groups."""
         views = build_views(
             groups, n_users, n_items, include_participant_edges=include_participant_edges
         )
-        return cls(views, dim, n_layers, feature_std=feature_std, seed=seed, gain=gain)
+        return cls(
+            views, dim, n_layers, feature_std=feature_std, seed=seed, gain=gain,
+            n_shards=n_shards, partition=partition,
+        )
 
 
 class HINEmbedding(Module):
@@ -132,6 +141,8 @@ class HINEmbedding(Module):
         feature_std: float = 1.0,
         seed: SeedLike = None,
         gain: float = 1.0,
+        n_shards: int = 0,
+        partition: str = "range",
     ) -> None:
         super().__init__()
         self.n_users = n_users
@@ -139,7 +150,7 @@ class HINEmbedding(Module):
         self.adjacency = build_hin_adjacency(groups, n_users, n_items)
         self.gcn = GCN(
             n_users + n_items, 2 * dim, n_layers, feature_std=feature_std, seed=seed,
-            gain=gain, adjacency=self.adjacency,
+            gain=gain, adjacency=self.adjacency, n_shards=n_shards, partition=partition,
         )
 
     def forward(self) -> EmbeddingBundle:

@@ -89,6 +89,8 @@ class GCN(Module):
         seed: SeedLike = None,
         gain: float = 1.0,
         adjacency: Optional[sp.spmatrix] = None,
+        n_shards: int = 0,
+        partition: str = "range",
     ) -> None:
         super().__init__()
         if n_layers < 1:
@@ -98,7 +100,13 @@ class GCN(Module):
         self.dim = dim
         self.n_layers = n_layers
         self.adjacency = None if adjacency is None else self._check_adjacency(adjacency)
-        self.features = Embedding(n_nodes, dim, seed=rng, std=feature_std)
+        # ``n_shards``/``partition`` pick the feature table's storage
+        # layout (repro.store); propagation reads the logical table via
+        # ``features.all()`` either way, so the math is layout-blind.
+        self.features = Embedding(
+            n_nodes, dim, seed=rng, std=feature_std,
+            n_shards=n_shards, partition=partition,
+        )
         self._layers: List[GCNLayer] = []
         for layer_idx in range(n_layers):
             layer = GCNLayer(dim, dim, activation=activation, seed=rng, gain=gain)

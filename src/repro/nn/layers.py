@@ -8,15 +8,19 @@ and ``Dropout``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init as inits
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, take_rows
+from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike, as_rng
+
+if False:  # pragma: no cover - import-time cycle guard (nn -> store -> nn);
+    # Embedding imports repro.store lazily at construction instead.
+    from repro.store import EmbeddingStore  # noqa: F401
 
 __all__ = ["Linear", "Embedding", "Dropout", "MLP", "Sequential", "Identity"]
 
@@ -82,6 +86,7 @@ class Linear(Module):
             inits.xavier_uniform((in_features, out_features), rng, gain=gain), "weight"
         )
         self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
+        self._fold_cache = {}  # blocks -> (weight version, folded ndarray)
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply the affine map to the trailing dimension of ``x``."""
@@ -90,20 +95,8 @@ class Linear(Module):
             out = out + self.bias
         return out
 
-    def project_blocks(self, x: Tensor, blocks: Sequence[Sequence[int]]) -> Tensor:
-        """Apply the *sum* of weight-row blocks to ``x`` — a partial map.
-
-        When this layer's input is a concatenation ``[a; b; c]`` (possibly
-        with repeated segments), ``x W = a W_a + b W_b + c W_c`` where
-        ``W_s`` are row blocks of ``W``.  ``project_blocks(a, [(s, e)])``
-        computes one such per-segment partial projection; passing several
-        ``(start, stop)`` blocks folds segments that receive the *same*
-        input (e.g. the duplicated ``g⁰ || g⁰`` layer-0 gate state) into
-        a single matmul.  The factorized scoring plan computes these
-        partials once per unique entity instead of once per flat request
-        row.  Only valid for bias-free layers — a bias cannot be split
-        across partial sums unambiguously.
-        """
+    def check_blocks(self, x: Tensor, blocks: Sequence[Sequence[int]]) -> Tuple[Tuple[int, int], ...]:
+        """Validate a ``project_blocks`` request; return a hashable key."""
         if self.bias is not None:
             raise ValueError("project_blocks() requires a bias-free Linear")
         if not blocks:
@@ -117,11 +110,60 @@ class Linear(Module):
                 f"block widths {sorted(stop - start for start, stop in blocks)} "
                 f"must all equal the input width {x.shape[-1]}"
             )
-        start, stop = blocks[0]
-        weight = self.weight[start:stop]
-        for start, stop in blocks[1:]:
-            weight = weight + self.weight[start:stop]
-        return x @ weight
+        return tuple((int(start), int(stop)) for start, stop in blocks)
+
+    def folded_blocks(self, blocks: Tuple[Tuple[int, int], ...]) -> Tensor:
+        """The summed weight-row blocks as a differentiable tensor, cached.
+
+        The fold values (``W[s0:e0] + W[s1:e1] + …``) are cached per
+        block set and keyed on :attr:`repro.nn.module.Parameter.version`
+        — the optimizer's in-place ``step()`` (and any state-dict load)
+        bumps the version, so a planned call after a weight update can
+        never read stale folds, while the calls *within* one step (and
+        every chunk of an evaluation sweep) reuse the fold for free.
+
+        Each call returns a *fresh* graph node over the cached values
+        whose backward adds the incoming gradient into every block of
+        ``weight.grad`` directly: nodes are never shared between
+        forward graphs, so reuse cannot double-count gradients and a
+        cached node can never carry a stale ``.grad`` into a later
+        backward pass.
+        """
+        weight = self.weight
+        entry = self._fold_cache.get(blocks)
+        if entry is None or entry[0] != weight.version:
+            folded = np.ascontiguousarray(weight.data[blocks[0][0] : blocks[0][1]])
+            for start, stop in blocks[1:]:
+                folded = folded + weight.data[start:stop]
+            entry = (weight.version, folded)
+            self._fold_cache[blocks] = entry
+
+        def backward(g: np.ndarray) -> None:
+            if not weight.requires_grad:
+                return
+            grad = np.zeros_like(weight.data)
+            for start, stop in blocks:
+                grad[start:stop] += g
+            weight._accumulate(grad)
+
+        return Tensor._make(entry[1], (weight,), backward)
+
+    def project_blocks(self, x: Tensor, blocks: Sequence[Sequence[int]]) -> Tensor:
+        """Apply the *sum* of weight-row blocks to ``x`` — a partial map.
+
+        When this layer's input is a concatenation ``[a; b; c]`` (possibly
+        with repeated segments), ``x W = a W_a + b W_b + c W_c`` where
+        ``W_s`` are row blocks of ``W``.  ``project_blocks(a, [(s, e)])``
+        computes one such per-segment partial projection; passing several
+        ``(start, stop)`` blocks folds segments that receive the *same*
+        input (e.g. the duplicated ``g⁰ || g⁰`` layer-0 gate state) into
+        a single matmul.  The factorized scoring plan computes these
+        partials once per unique entity instead of once per flat request
+        row.  Only valid for bias-free layers — a bias cannot be split
+        across partial sums unambiguously.  Fold weights are cached via
+        :meth:`folded_blocks` (invalidated by parameter-version bumps).
+        """
+        return x @ self.folded_blocks(self.check_blocks(x, blocks))
 
 
 class Embedding(Module):
@@ -129,6 +171,16 @@ class Embedding(Module):
 
     The paper's layer-0 GCN features ``X⁰`` are exactly such a table,
     initialised from a standard Gaussian (Sec. II-C2).
+
+    Storage is delegated to a :class:`repro.store.EmbeddingStore`: the
+    default :class:`repro.store.DenseStore` keeps the historical single
+    ``weight`` parameter (``emb.weight`` / ``emb.all()`` behave exactly
+    as before), while ``n_shards >= 2`` partitions the *same* initial
+    values across a :class:`repro.store.ShardedStore` whose per-shard
+    parameters register here as ``shard0..shardN-1``.  Checkpoint state
+    is canonical either way — one logical ``weight`` table — so a model
+    saved under any layout restores under any other (see
+    ``Module.state_dict``).
     """
 
     def __init__(
@@ -137,24 +189,59 @@ class Embedding(Module):
         dim: int,
         seed: SeedLike = None,
         std: float = 0.1,
+        store: Optional["EmbeddingStore"] = None,
+        n_shards: int = 0,
+        partition: str = "range",
     ) -> None:
         super().__init__()
+        from repro.store import make_store  # deferred: breaks the nn<->store cycle
+
         if num_embeddings <= 0 or dim <= 0:
             raise ValueError(
                 f"Embedding dims must be positive, got {num_embeddings}x{dim}"
             )
-        rng = as_rng(seed)
         self.num_embeddings = num_embeddings
         self.dim = dim
-        self.weight = Parameter(inits.normal_((num_embeddings, dim), rng, std=std), "weight")
+        if store is None:
+            rng = as_rng(seed)
+            store = make_store(
+                inits.normal_((num_embeddings, dim), rng, std=std),
+                n_shards=n_shards,
+                partition=partition,
+            )
+        if (store.num_rows, store.dim) != (num_embeddings, dim):
+            raise ValueError(
+                f"store holds a ({store.num_rows}, {store.dim}) table, "
+                f"embedding expects ({num_embeddings}, {dim})"
+            )
+        self.store = store
+        for name, param in store.named_parameters():
+            setattr(self, name, param)
 
     def forward(self, index) -> Tensor:
         """Gather rows for integer ``index`` (1-D array-like)."""
-        return take_rows(self.weight, np.asarray(index, dtype=np.int64))
+        return self.store.gather(np.asarray(index, dtype=np.int64))
 
     def all(self) -> Tensor:
-        """The full table as a tensor (input to full-graph GCNs)."""
-        return self.weight
+        """The full logical table as a tensor (input to full-graph GCNs)."""
+        return self.store.all()
+
+    # ------------------------------------------------------------------
+    # Canonical (layout-independent) checkpoint state
+    # ------------------------------------------------------------------
+    def _state_names(self) -> List[str]:
+        return ["weight"]
+
+    def _state_items(self, exclude=()):
+        if "weight" in set(exclude):
+            return {}
+        return {"weight": self.store.logical_state()}
+
+    def _load_state_items(self, entries, dtype=None) -> None:
+        for name, values in entries.items():
+            if name != "weight":  # pragma: no cover - filtered upstream
+                raise KeyError(f"unexpected embedding state entry {name!r}")
+            self.store.load_logical(np.asarray(values), dtype)
 
 
 class Dropout(Module):

@@ -26,12 +26,13 @@ float32 weights directly).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.tensor import dtype_scope, no_grad
 from repro.plan import ScoringPlan
+from repro.store import iter_stores
 
 __all__ = ["PendingScores", "RequestBatcher"]
 
@@ -233,6 +234,24 @@ class RequestBatcher:
     ) -> np.ndarray:
         """Submit-and-flush shorthand for a single Task-B request."""
         return self.submit_participants(user, item, candidate_users).scores
+
+    def shard_stats(self) -> Dict[str, dict]:
+        """Per-store gather counters of the served model.
+
+        Sharded models answer each flush's planned call with one gather
+        per touched shard; the counters (``gathers``, ``shard_touches``,
+        ``max_shard_gather_rows`` …, see
+        :class:`repro.store.EmbeddingStore`) expose that behaviour —
+        ``shard_touches / gathers`` is the effective fan-out per call
+        and ``max_shard_gather_rows`` bounds the transient per-shard
+        resident rows a flush ever added on top of the shard's owned
+        block.  Empty for models without store-backed tables.
+        """
+        out: Dict[str, dict] = {}
+        if hasattr(self.model, "named_modules"):
+            for name, store in iter_stores(self.model):
+                out[name] = dict(store.stats, n_shards=store.n_shards)
+        return out
 
     def refresh(self) -> None:
         """Re-run the encoder after a weight update (checkpoint swap)."""

@@ -1,0 +1,47 @@
+"""Sharded embedding storage (ROADMAP "sharded embedding tables").
+
+Public surface:
+
+* :class:`EmbeddingStore` — the storage contract behind
+  :class:`repro.nn.layers.Embedding`;
+* :class:`DenseStore` — the single-table layout (default);
+* :class:`ShardedStore` — rows hash/range-partitioned across N
+  in-process shard workers, gathered once per shard per planned call;
+* :class:`Partitioner` / :class:`ShardMap` — id→shard assignment and
+  compiled per-shard gather plans (also cached on scoring plans);
+* :func:`make_store` — layout factory used by the layer constructors;
+* :func:`iter_stores` — find store-backed embeddings in a module tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.store.base import EmbeddingStore, Partitioner, ShardMap, iter_stores
+from repro.store.dense import DenseStore
+from repro.store.sharded import ShardedStore
+
+__all__ = [
+    "EmbeddingStore",
+    "DenseStore",
+    "ShardedStore",
+    "Partitioner",
+    "ShardMap",
+    "iter_stores",
+    "make_store",
+]
+
+
+def make_store(values: np.ndarray, n_shards: int = 0, partition: str = "range") -> EmbeddingStore:
+    """Build the layout for an initial table: dense unless ``n_shards >= 2``.
+
+    ``n_shards`` of 0 or 1 keeps the single-table :class:`DenseStore`
+    (bit-for-bit the historical behaviour); 2+ partitions the same
+    initial values across a :class:`ShardedStore`, so any layout built
+    from one init array scores identically.
+    """
+    if n_shards < 0:
+        raise ValueError(f"n_shards must be >= 0, got {n_shards}")
+    if n_shards <= 1:
+        return DenseStore(values)
+    return ShardedStore(values, n_shards, partition)

@@ -1,0 +1,185 @@
+"""Hash/range-partitioned embedding rows across in-process shard workers.
+
+A :class:`ShardedStore` splits one logical ``(num_rows, dim)`` table
+into ``n_shards`` independently-owned row blocks, each a separate
+:class:`repro.nn.module.Parameter`.  ``gather(unique_ids)`` compiles (or
+reuses, when a :class:`repro.plan.ScoringPlan` caches one) a
+:class:`repro.store.base.ShardMap`, pulls each touched shard's rows
+with **one** gather per shard, and reassembles the caller's order — so
+a planned call touches every shard at most once, and per-shard transient
+memory is bounded by the largest per-shard gather rather than the whole
+request.
+
+Bit-identity contract
+---------------------
+Row values are exact copies, so the forward is bit-identical to
+indexing the dense table.  The backward splits the incoming gradient by
+owning shard (a pure permutation — no accumulation) and scatter-adds
+each shard's slice through the same :func:`repro.nn.tensor.take_rows`
+adjoint the dense path uses; stable shard grouping preserves each row's
+occurrence order, so every shard row receives exactly the dense
+gradient rows in the dense accumulation order.  Training with a
+``ShardedStore`` is therefore bit-for-bit the dense run (asserted in
+tests/test_store.py), because the per-row Adam update depends only on
+that row's gradient/state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor, concat, take_rows
+from repro.store.base import EmbeddingStore, Partitioner, ShardMap
+
+__all__ = ["ShardedStore"]
+
+
+class ShardedStore(EmbeddingStore):
+    """N-way partitioned embedding table.
+
+    Parameters
+    ----------
+    values: the initial logical table; each shard copies its owned rows
+        (initialisation is therefore bit-identical to the dense store
+        built from the same array, for any shard count).
+    n_shards: number of shard workers (>= 1; shards may own zero rows
+        when ``n_shards`` exceeds ``num_rows``).
+    partition: ``"range"`` (contiguous blocks — planned gathers over
+        sorted unique ids then reassemble for free) or ``"hash"``
+        (modulo striping).
+    """
+
+    def __init__(self, values: np.ndarray, n_shards: int, partition: str = "range") -> None:
+        super().__init__()
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValueError(f"need a (rows, dim) table, got shape {values.shape}")
+        self.num_rows, self.dim = values.shape
+        self.partitioner = Partitioner(self.num_rows, n_shards, partition)
+        self._shards: List[Parameter] = [
+            Parameter(
+                np.ascontiguousarray(values[self.partitioner.owned_ids(k)]),
+                f"shard{k}",
+            )
+            for k in range(n_shards)
+        ]
+        if partition == "hash":
+            # all(): rows concatenated shard-by-shard are a permutation
+            # of the logical order; precompute the unpermute index once.
+            offsets = np.concatenate(
+                [[0], np.cumsum([len(p.data) for p in self._shards])]
+            )
+            ids = np.arange(self.num_rows, dtype=np.int64)
+            self._all_perm: Optional[np.ndarray] = (
+                offsets[self.partitioner.owner(ids)] + self.partitioner.to_local(ids)
+            )
+        else:
+            self._all_perm = None
+
+    @property
+    def n_shards(self) -> int:
+        return self.partitioner.n_shards
+
+    @property
+    def partition(self) -> str:
+        return self.partitioner.kind
+
+    def shard_size_of(self, shard: int) -> int:
+        return len(self._shards[shard].data)
+
+    def named_parameters(self) -> List[Tuple[str, Parameter]]:
+        return [(f"shard{k}", p) for k, p in enumerate(self._shards)]
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def shard_map(self, ids, plan=None, role: Optional[str] = None) -> ShardMap:
+        """The per-shard gather plan for ``ids`` (plan-cached when given).
+
+        ``plan``/``role`` let a :class:`repro.plan.ScoringPlan` memoise
+        the grouping across the calls that reuse it (e.g. a training
+        step's planned forward touching the same unique entities for
+        several towers).
+        """
+        if plan is not None and role is not None:
+            return plan.shard_map(role, self.partitioner)
+        return self.partitioner.build_map(ids)
+
+    def gather(self, ids, plan=None, role: Optional[str] = None) -> Tensor:
+        idx = np.asarray(ids, dtype=np.int64)
+        smap = self.shard_map(idx, plan=plan, role=role)
+        if smap.n_rows != idx.size:
+            # The plan's cached map answers for the plan's own role
+            # array; a caller whose ids diverged from it would silently
+            # receive rows for the wrong entities.
+            raise ValueError(
+                f"gather ids ({idx.size} rows) do not match the plan's "
+                f"{role!r} array ({smap.n_rows} rows) — pass plan=None to "
+                "gather an ad-hoc id set"
+            )
+        parts = []
+        for shard, local in zip(self._shards, smap.per_shard_local):
+            if not len(local):
+                continue
+            self._record_touch(shard, local)
+            parts.append(take_rows(shard, local))
+        self._record_gather(idx.size, smap.shards_touched, smap.max_shard_rows)
+        if not parts:
+            return take_rows(self._shards[0], np.empty(0, dtype=np.int64))
+        grouped = parts[0] if len(parts) == 1 else concat(parts, axis=0)
+        if smap.identity:
+            return grouped
+        return take_rows(grouped, smap.inverse)
+
+    def all(self) -> Tensor:
+        """Materialise the logical table (full-graph encoder path).
+
+        Concatenation reassembles the exact dense buffer for range
+        partitioning; hash partitioning adds one unpermute gather.
+        Gradients split back onto every shard, and every row is marked
+        touched (a full-table read feeds full-table gradients).
+        """
+        for shard in self._shards:
+            self._record_touch_all(shard)
+        grouped = concat([p for p in self._shards if len(p.data)], axis=0)
+        if self._all_perm is None:
+            return grouped
+        return take_rows(grouped, self._all_perm)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def logical_state(self) -> np.ndarray:
+        out = np.empty((self.num_rows, self.dim), dtype=self._shards[0].data.dtype)
+        for k, shard in enumerate(self._shards):
+            out[self.partitioner.owned_ids(k)] = shard.data
+        return out
+
+    def load_logical(self, values: np.ndarray, dtype=None) -> None:
+        values = self._check_table(values)
+        for k, shard in enumerate(self._shards):
+            self._assign_param(shard, values[self.partitioner.owned_ids(k)], dtype)
+
+    def assign_rows(self, ids, values) -> None:
+        """Scatter logical rows to their owners (streaming shard restore).
+
+        Only the owning shards are touched, so restoring from per-shard
+        checkpoint files never materialises the full table.
+        """
+        idx = np.asarray(ids, dtype=np.int64)
+        values = np.asarray(values)
+        smap = self.partitioner.build_map(idx)
+        grouped = values[smap.order]
+        offset = 0
+        for shard, local in zip(self._shards, smap.per_shard_local):
+            if not len(local):
+                continue
+            shard.data[local] = grouped[offset : offset + len(local)]
+            shard.bump_version()
+            offset += len(local)
+
+    def shard_rows(self, shard: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.partitioner.owned_ids(shard), self._shards[shard].data

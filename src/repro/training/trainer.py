@@ -111,6 +111,12 @@ class TrainConfig:
                                  # planned for the expert/gate stack,
                                  # flat for near-free dot-product
                                  # scorers; see the module docstring)
+    sparse_updates: bool = False # lazy per-row Adam on embedding-store
+                                 # tables: only rows a step's gathers
+                                 # touched get moment decay + update
+                                 # (repro.nn.optim.Adam(lazy_rows=True);
+                                 # lazy-Adam semantics — keep False for
+                                 # bit-parity with the dense optimizer)
     seed: SeedLike = 0
     verbose: bool = False
 
@@ -166,7 +172,11 @@ class Trainer:
         self.task_b = extract_task_b(dataset.train)
         if len(self.task_a) == 0 or len(self.task_b) == 0:
             raise ValueError("training split yields no samples for one of the tasks")
-        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            lazy_rows=self.config.sparse_updates,
+        )
         self.history = History()
         self._epoch = 0
         self._pool_a = self._pool_b = None
@@ -470,12 +480,17 @@ class Trainer:
         t0 = time.perf_counter()
         draws = self._draw_negatives(batch_a, batch_b)
         t1 = time.perf_counter()
+        # Clear grads (and last step's touched-row records) *before* the
+        # forward: embedding-store gathers record touched_rows while the
+        # losses are built, and the lazy-row optimizer mode consumes them
+        # at step() — zeroing between forward and backward would wipe
+        # them and silently degrade sparse_updates to dense updates.
+        model.zero_grad()
         emb = model.compute_embeddings()
         losses_fn = self._planned_losses if self._use_planned else self._flat_losses
         loss_a, loss_b, aux_a, aux_b = losses_fn(emb, batch_a, batch_b, draws)
         loss = total_loss(loss_a, loss_b, aux_a, aux_b, cfg.beta, cfg.beta_a, cfg.beta_b)
         t2 = time.perf_counter()
-        model.zero_grad()
         loss.backward()
         if cfg.grad_clip > 0:
             clip_grad_norm(model.parameters(), cfg.grad_clip)
