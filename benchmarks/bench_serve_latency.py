@@ -1,0 +1,225 @@
+"""Serving-latency benchmark: open-loop Poisson traffic vs ServingEngine.
+
+Measures what the async serving engine trades: **latency** (the
+deadline-triggered flush clock bounds how long a request waits for
+co-batching) against **throughput** (bigger planned calls amortise
+model dispatch).  Traffic is open-loop: request arrival times are drawn
+from a Poisson process at a fixed offered rate and a submitter thread
+sticks to that schedule regardless of how the engine keeps up — the
+honest way to measure a queueing system (closed loops hide overload by
+slowing the clients).
+
+Cells sweep ``offered rate × flush deadline × store layout``:
+
+* ``dense``   — GBMF over single-table stores;
+* ``sharded`` — the same tables range-partitioned 4 ways (every flush
+  regroups ids per shard);
+* ``lru``     — the sharded layout fronted by a
+  :class:`repro.store.LRUCachedStore` hot-row cache; ids are
+  Zipf-skewed, so the cache absorbs the head of the distribution.
+
+Per cell: p50/p95/p99 request latency (submit → ticket resolution),
+achieved submit rate, served QPS, the engine's flush-cause breakdown
+and cache hit rates.  Steady-state cells (the submitter held the
+offered rate and the engine kept up) must respect the latency model
+
+    ``p95  <=  max_delay_ms + one flush duration (+ scheduler slack)``
+
+— a request waits at most one full deadline, then one flush.
+
+Writes ``BENCH_serve_latency.json`` at the repository root.  Run
+directly (``PYTHONPATH=src python benchmarks/bench_serve_latency.py``);
+``--smoke`` runs a seconds-scale configuration and skips the artifact.
+Environment knobs: ``REPRO_BENCH_SERVE_USERS / ITEMS / DIM /
+CANDIDATES / SLACK_MS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import GBMF
+from repro.serving import ServingEngine
+from repro.store import cache_hot_rows
+
+N_USERS = int(os.environ.get("REPRO_BENCH_SERVE_USERS", "3000"))
+N_ITEMS = int(os.environ.get("REPRO_BENCH_SERVE_ITEMS", "1000"))
+DIM = int(os.environ.get("REPRO_BENCH_SERVE_DIM", "32"))
+CANDIDATES = int(os.environ.get("REPRO_BENCH_SERVE_CANDIDATES", "20"))
+#: Scheduler/GIL slack added on top of the latency model before the
+#: p95 assertion — generous for shared CI runners, still far below the
+#: deadlines it guards.
+SLACK_MS = float(os.environ.get("REPRO_BENCH_SERVE_SLACK_MS", "25.0"))
+
+RATES = (200.0, 800.0, 2000.0)       # offered requests/sec
+DEADLINES_MS = (2.0, 10.0)           # engine max_delay_ms
+STORES = ("dense", "sharded", "lru")
+N_SHARDS = 4
+LRU_CAPACITY = 256
+ZIPF_A = 1.2
+SEED = 23
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve_latency.json"
+
+
+def _zipf_ids(rng: np.random.Generator, n: int, bound: int) -> np.ndarray:
+    """Zipf-skewed ids in ``[0, bound)`` — serving's hot-head traffic."""
+    raw = rng.zipf(ZIPF_A, size=n)
+    return (raw - 1) % bound
+
+
+def build_model(store: str) -> GBMF:
+    n_shards = 0 if store == "dense" else N_SHARDS
+    model = GBMF(N_USERS, N_ITEMS, dim=DIM, seed=SEED, n_shards=n_shards)
+    if store == "lru":
+        cache_hot_rows(model, LRU_CAPACITY)
+    model.eval()
+    model.refresh_cache()
+    return model
+
+
+def make_requests(rng: np.random.Generator, n: int):
+    users = _zipf_ids(rng, n, N_USERS)
+    candidates = _zipf_ids(rng, n * CANDIDATES, N_ITEMS).reshape(n, CANDIDATES)
+    return users, candidates
+
+
+def run_cell(model: GBMF, rate: float, deadline_ms: float, n_requests: int,
+             rng: np.random.Generator) -> dict:
+    users, candidates = make_requests(rng, n_requests)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n_requests))
+    engine = ServingEngine(model, max_delay_ms=deadline_ms, max_pending=8192)
+    tickets = [None] * n_requests
+    submit_at = np.empty(n_requests)
+
+    def submitter() -> None:
+        t0 = time.perf_counter()
+        for k in range(n_requests):
+            lag = t0 + arrivals[k] - time.perf_counter()
+            if lag > 0:
+                time.sleep(lag)
+            submit_at[k] = time.perf_counter()
+            tickets[k] = engine.submit_items(int(users[k]), candidates[k])
+
+    with engine:
+        thread = threading.Thread(target=submitter)
+        started = time.perf_counter()
+        thread.start()
+        thread.join()
+        engine.drain(timeout=60.0)
+        stats = engine.stats()
+    assert all(t is not None and t.ready for t in tickets), "unresolved tickets"
+    assert stats["batcher"]["failed_flushes"] == 0, "flush failures during bench"
+
+    resolved_at = np.array([t.resolved_at for t in tickets])
+    latency_ms = (resolved_at - submit_at) * 1000.0
+    span = submit_at[-1] - submit_at[0]
+    achieved_rate = (n_requests - 1) / span if span > 0 else float("inf")
+    served_span = resolved_at.max() - started
+    p50, p95, p99 = np.percentile(latency_ms, (50, 95, 99))
+    engine_stats = stats["engine"]
+    batcher = stats["batcher"]
+    steady = achieved_rate >= 0.85 * rate
+    cell = {
+        "offered_rate": rate,
+        "achieved_rate": round(float(achieved_rate), 1),
+        "deadline_ms": deadline_ms,
+        "n_requests": n_requests,
+        "steady_state": bool(steady),
+        "served_qps": round(n_requests / served_span, 1) if served_span > 0 else None,
+        "latency_ms": {
+            "p50": round(float(p50), 3),
+            "p95": round(float(p95), 3),
+            "p99": round(float(p99), 3),
+            "max": round(float(latency_ms.max()), 3),
+        },
+        "flushes": engine_stats["flushes"],
+        "flush_causes": engine_stats["flush_causes"],
+        "avg_flush_ms": round(engine_stats["avg_flush_seconds"] * 1000.0, 3),
+        "max_flush_ms": round(engine_stats["max_flush_seconds"] * 1000.0, 3),
+        "rows_per_flush": round(batcher["flat_rows"] / max(engine_stats["flushes"], 1), 1),
+        "dedup_ratio": round(batcher["flat_rows"] / max(batcher["unique_pairs"], 1), 3),
+        "cache_hit_rate": round(stats["cache"]["hit_rate"], 4)
+        if stats["cache"]["stores"]
+        else None,
+        "p95_bound_ms": round(
+            deadline_ms + engine_stats["max_flush_seconds"] * 1000.0 + SLACK_MS, 3
+        ),
+    }
+    return cell
+
+
+def run_benchmark(rates=RATES, deadlines=DEADLINES_MS, stores=STORES,
+                  n_requests: int = 0) -> dict:
+    report = {
+        "config": {
+            "n_users": N_USERS, "n_items": N_ITEMS, "dim": DIM,
+            "candidates_per_request": CANDIDATES, "n_shards": N_SHARDS,
+            "lru_capacity": LRU_CAPACITY, "zipf_a": ZIPF_A,
+            "slack_ms": SLACK_MS,
+        },
+        "cells": [],
+    }
+    for store in stores:
+        model = build_model(store)
+        for rate in rates:
+            for deadline in deadlines:
+                rng = np.random.default_rng(SEED + 1)
+                n = n_requests or int(min(max(rate * 1.5, 300), 3000))
+                cell = run_cell(model, rate, deadline, n, rng)
+                cell["store"] = store
+                report["cells"].append(cell)
+    return report
+
+
+def check_report(report: dict) -> None:
+    """Acceptance gates (also exercised by the CI smoke run)."""
+    assert report["cells"], "no cells measured"
+    steady = [c for c in report["cells"] if c["steady_state"]]
+    assert steady, "no steady-state cells — offered rates too high for this host"
+    for cell in steady:
+        assert cell["latency_ms"]["p95"] <= cell["p95_bound_ms"], (
+            f"{cell['store']} @ {cell['offered_rate']}/s, "
+            f"deadline {cell['deadline_ms']}ms: p95 {cell['latency_ms']['p95']}ms "
+            f"exceeds max_delay + flush + slack = {cell['p95_bound_ms']}ms"
+        )
+    lru = [c for c in report["cells"] if c["store"] == "lru"]
+    for cell in lru:
+        assert cell["cache_hit_rate"] is not None
+        # Zipf-skewed ids must actually hit the hot-row cache.
+        assert cell["cache_hit_rate"] > 0.2, (
+            f"LRU hit rate collapsed to {cell['cache_hit_rate']}"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run (one rate/deadline cell per store); "
+        "skips the JSON artifact",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        if "REPRO_BENCH_SERVE_SLACK_MS" not in os.environ:
+            # 250 requests span ~0.5s: one scheduler stall on a shared
+            # CI runner moves p95, so the smoke gate gets wider slack
+            # (still far below unbounded-queueing latencies).
+            SLACK_MS = 100.0
+        result = run_benchmark(
+            rates=(500.0,), deadlines=(5.0,), n_requests=250
+        )
+    else:
+        result = run_benchmark()
+    check_report(result)
+    if not args.smoke:
+        OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

@@ -185,6 +185,13 @@ class GroupBuyingRecommender(Module):
 
         Call under ``no_grad`` (the evaluation protocol does); training
         code never uses the cache.
+
+        The cache (like the fold caches inside the planned stack, see
+        :meth:`repro.nn.layers.Linear.folded_blocks`) is unsynchronized
+        model state: scoring and cache rebuilds must stay on one thread
+        at a time.  The serving engine upholds this single-scorer
+        invariant on its worker thread; ``ServingEngine.refresh()``
+        routes weight-swap rebuilds through that same thread.
         """
         self._cached = self.compute_embeddings()
 

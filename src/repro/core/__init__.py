@@ -12,6 +12,7 @@ from repro.core.losses import (
     LossBreakdown,
     aux_loss_task_a,
     aux_loss_task_b,
+    aux_losses_from_scores,
     bpr_loss,
     listwise_aux_loss,
     total_loss,
@@ -43,6 +44,7 @@ __all__ = [
     "listwise_aux_loss",
     "aux_loss_task_a",
     "aux_loss_task_b",
+    "aux_losses_from_scores",
     "total_loss",
     "LossBreakdown",
     "VARIANTS",

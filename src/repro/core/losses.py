@@ -22,7 +22,10 @@ Two entry points per auxiliary loss: :func:`aux_loss_task_a` /
 :func:`aux_loss_task_b_from_scores` accept *pre-planned* score tensors —
 the planned trainer compiles every corruption request into one
 :class:`repro.plan.PlannedBatch`, scores unique triples once, and feeds
-the scattered segments straight into these forms.
+the scattered segments through :func:`aux_losses_from_scores`, which
+derives **both** auxiliary losses from that shared corruption bank
+(``listnet`` mode builds its softmax normalizer once over the bank via
+a two-bank logsumexp — no concatenated logit/target matrices).
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor
 
 __all__ = [
     "bpr_loss",
@@ -41,6 +44,7 @@ __all__ = [
     "aux_loss_task_a",
     "aux_loss_task_b",
     "aux_loss_task_b_from_scores",
+    "aux_losses_from_scores",
     "LossBreakdown",
     "total_loss",
 ]
@@ -85,10 +89,21 @@ def listwise_aux_loss(
     mode:
         ``"literal"`` — Eq. 21 exactly: ``-(1/(|N⁺|·2|T|)) Σ y log s``;
         only ``T_P`` terms carry gradient (``log s = log σ(logit)``).
-        ``"listnet"`` — softmax over the concatenated ``2|T|`` scores,
+        ``"listnet"`` — softmax over the combined ``2|T|`` scores,
         cross-entropy against uniform mass on the ``T_P`` half; this
         additionally pushes ``T_I`` scores *down* relative to ``T_P``,
         the ranking of Eq. 20.
+
+    The listnet form is computed as a **two-bank logsumexp**: the
+    cross-entropy against uniform ``T_P`` mass collapses to
+
+        ``mean_row( logsumexp([T_P ‖ T_I]) − mean(T_P) )``
+
+    so one shared softmax normalizer over the corruption bank is built
+    directly from the two ``(batch, |T|)`` banks — the planned trainer
+    hands both losses the same scattered corruption segments, and no
+    ``(batch, 2|T|)`` concatenation, log-prob matrix or one-hot target
+    is ever materialised.
     """
     if participant_corrupted.shape != item_corrupted.shape:
         raise ValueError(
@@ -101,12 +116,20 @@ def listwise_aux_loss(
             2.0 * participant_corrupted.shape[1]
         )
     if mode == "listnet":
-        logits = concat([participant_corrupted, item_corrupted], axis=1)
-        log_probs = F.log_softmax(logits, axis=1)
-        t = participant_corrupted.shape[1]
-        target = np.zeros(logits.shape)
-        target[:, :t] = 1.0 / t
-        return -(Tensor(target) * log_probs).sum(axis=1).mean()
+        # Detached max shift: the softmax is shift-invariant, so the
+        # shift contributes no gradient — a constant keeps the graph
+        # small and the exp()s in range.
+        shift = Tensor(
+            np.maximum(
+                participant_corrupted.data.max(axis=1, keepdims=True),
+                item_corrupted.data.max(axis=1, keepdims=True),
+            )
+        )
+        mass = (participant_corrupted - shift).exp().sum(axis=1) + (
+            item_corrupted - shift
+        ).exp().sum(axis=1)
+        logsumexp = shift.reshape(-1) + mass.log()
+        return (logsumexp - participant_corrupted.mean(axis=1)).mean()
     raise ValueError(f"unknown aux mode {mode!r}; expected literal|listnet")
 
 
@@ -175,6 +198,42 @@ def aux_loss_task_b_from_scores(
     scores are shared with ``L_B`` instead of recomputed.
     """
     return bpr_loss(pos_logits, corrupted_logits)
+
+
+def aux_losses_from_scores(
+    pos_b_logits: Tensor,
+    participant_corrupted_a: Tensor,
+    item_corrupted_a: Tensor,
+    item_corrupted_b: Tensor,
+    mode: str = "literal",
+    want_a: bool = True,
+    want_b: bool = True,
+):
+    """Assemble ``(L'_A, L'_B)`` from one planned corruption bank.
+
+    The planned trainer scores the shared corruption requests once —
+    the ``(u, i, p')`` / ``(u, i', p)`` banks land as adjacent segments
+    of one :class:`repro.plan.PlannedBatch` and the joint stack returns
+    both heads' logits over them — and this helper derives both
+    auxiliary losses from those segments: ``L'_A`` from the Task-A
+    corruption banks (under ``mode="listnet"``, one shared softmax
+    normalizer over the whole bank via :func:`listwise_aux_loss`'s
+    two-bank logsumexp), ``L'_B`` as BPR between the Task-B positives
+    and the *same* item-corrupted triples' Task-B logits.  Either loss
+    can be switched off (``want_a``/``want_b`` mirror ``β_A``/``β_B``
+    gating); disabled losses return ``None``.
+    """
+    aux_a = (
+        listwise_aux_loss(participant_corrupted_a, item_corrupted_a, mode=mode)
+        if want_a
+        else None
+    )
+    aux_b = (
+        aux_loss_task_b_from_scores(pos_b_logits, item_corrupted_b)
+        if want_b
+        else None
+    )
+    return aux_a, aux_b
 
 
 @dataclass

@@ -128,6 +128,14 @@ class Linear(Module):
         forward graphs, so reuse cannot double-count gradients and a
         cached node can never carry a stale ``.grad`` into a later
         backward pass.
+
+        The cache dict itself is **not** locked: correctness relies on
+        the single-scorer-thread invariant — only one thread runs the
+        model's forward at a time.  The serving engine
+        (:class:`repro.serving.engine.ServingEngine`) enforces this by
+        construction (every flush and refresh happens on its worker
+        thread, asserted there); code that shares one model across
+        threads without such serialization is out of contract.
         """
         weight = self.weight
         entry = self._fold_cache.get(blocks)

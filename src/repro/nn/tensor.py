@@ -20,9 +20,20 @@ Design notes
 * Broadcasting follows NumPy semantics; :func:`_unbroadcast` folds a
   gradient back onto the operand's original shape by summing the
   broadcast axes.
-* :func:`no_grad` disables graph construction globally, mirroring
+* :func:`no_grad` disables graph construction, mirroring
   ``torch.no_grad`` — evaluation loops use it to avoid building graphs
   for millions of candidate scores.
+
+Thread-locality
+---------------
+The grad-enabled flag and the default dtype are **thread-local** (each
+thread starts at the ``grad enabled / float64`` defaults).  The serving
+engine (:mod:`repro.serving.engine`) runs its flushes under
+``no_grad()``/``dtype_scope`` on a dedicated worker thread, and a
+trainer concurrently building graphs on the main thread must not see
+those scopes; conversely a trainer's scopes never bleed into serving.
+Scopes therefore cannot be used to communicate state across threads —
+enter them on the thread that does the math.
 
 Dtype policy
 ------------
@@ -46,6 +57,7 @@ existence.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -69,10 +81,24 @@ __all__ = [
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
-
 _SUPPORTED_DTYPES = (np.float32, np.float64)
-_DEFAULT_DTYPE = np.float64
+
+
+class _ThreadState(threading.local):
+    """Per-thread autograd mode and default dtype.
+
+    ``threading.local`` re-runs ``__init__`` on first access from each
+    new thread, so every thread independently starts at the safe
+    defaults (grad enabled, float64) no matter what scopes other
+    threads have entered.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.default_dtype = np.dtype(np.float64)
+
+
+_STATE = _ThreadState()
 
 
 def _coerce_dtype(dtype) -> np.dtype:
@@ -86,30 +112,29 @@ def _coerce_dtype(dtype) -> np.dtype:
 
 def get_default_dtype() -> np.dtype:
     """The dtype newly created tensors (and op results) are cast to."""
-    return np.dtype(_DEFAULT_DTYPE)
+    return _STATE.default_dtype
 
 
 def set_default_dtype(dtype) -> None:
-    """Set the global default dtype (``float32`` or ``float64``).
+    """Set the calling thread's default dtype (``float32``/``float64``).
 
     Training and gradcheck assume the ``float64`` default; prefer the
     scoped :func:`dtype_scope` / :func:`inference_mode` for the
-    ``float32`` inference fast path so the change cannot leak.
+    ``float32`` inference fast path so the change cannot leak.  The
+    setting is thread-local: other threads keep their own default.
     """
-    global _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = _coerce_dtype(dtype)
+    _STATE.default_dtype = _coerce_dtype(dtype)
 
 
 @contextlib.contextmanager
 def dtype_scope(dtype):
-    """Temporarily switch the default tensor dtype inside a block."""
-    global _DEFAULT_DTYPE
-    previous = _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = _coerce_dtype(dtype)
+    """Temporarily switch this thread's default tensor dtype."""
+    previous = _STATE.default_dtype
+    _STATE.default_dtype = _coerce_dtype(dtype)
     try:
         yield
     finally:
-        _DEFAULT_DTYPE = previous
+        _STATE.default_dtype = previous
 
 
 @contextlib.contextmanager
@@ -126,7 +151,7 @@ def inference_mode(dtype=np.float32):
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded on the autograd tape."""
-    return _GRAD_ENABLED
+    return _STATE.grad_enabled
 
 
 @contextlib.contextmanager
@@ -135,16 +160,16 @@ def no_grad():
 
     Inside the block every operation produces constant tensors with
     ``requires_grad=False`` and no backward closure, exactly like
-    ``torch.no_grad()``.  Used by evaluation and by the trainers'
-    embedding pre-computation step.
+    ``torch.no_grad()``.  Used by evaluation, serving flushes and the
+    trainers' embedding pre-computation step.  Thread-local: only the
+    entering thread stops recording.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _STATE.grad_enabled
+    _STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 def _scatter_rows_add(
@@ -241,10 +266,11 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):  # pragma: no cover - defensive
             data = data.data
-        arr = np.asarray(data, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
+        state = _STATE
+        arr = np.asarray(data, dtype=dtype if dtype is not None else state.default_dtype)
         self.data = arr
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and state.grad_enabled
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
@@ -350,7 +376,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Construct a graph node whose grad flows to ``parents``."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = _STATE.grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor(data)
         if needs:
             out.requires_grad = True
@@ -635,12 +661,12 @@ def tensor(data: ArrayLike, requires_grad: bool = False, name: str = "") -> Tens
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
     """Tensor of zeros with the given shape."""
-    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_STATE.default_dtype), requires_grad=requires_grad)
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
     """Tensor of ones with the given shape."""
-    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_STATE.default_dtype), requires_grad=requires_grad)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:

@@ -1,10 +1,26 @@
-"""``repro.serving`` — request-batching front-end over planned scoring.
+"""``repro.serving`` — request batching and the async serving engine.
 
 Coalesces incoming (user, candidates) scoring requests into one
 :class:`repro.plan.ScoringPlan` per task and scatters the scores back to
-each caller; see :mod:`repro.serving.frontend`.
+each caller.  Three layers:
+
+* :mod:`repro.serving.core` — the pure queue/plan/scatter core
+  (tickets, request queue, flush execution with failure isolation);
+* :class:`RequestBatcher` — the synchronous shell (caller owns the
+  flush clock);
+* :class:`ServingEngine` — the asynchronous shell: thread-safe submits,
+  a worker thread owning the flush clock (deadline / size budget /
+  drain), and a unified ``stats()`` snapshot.
 """
 
-from repro.serving.frontend import PendingScores, RequestBatcher
+from repro.serving.core import PendingScores, RequestQueue, ScoringCore
+from repro.serving.engine import ServingEngine
+from repro.serving.frontend import RequestBatcher
 
-__all__ = ["RequestBatcher", "PendingScores"]
+__all__ = [
+    "RequestBatcher",
+    "ServingEngine",
+    "PendingScores",
+    "RequestQueue",
+    "ScoringCore",
+]

@@ -1,0 +1,352 @@
+"""Serving core: tickets, the pending-request queue, and flush execution.
+
+This module is the *pure* half of the serving layer — it knows nothing
+about clocks or threads.  Two shells drive it:
+
+* :class:`repro.serving.frontend.RequestBatcher` — the synchronous
+  front-end: the caller owns the flush clock (explicit ``flush()``,
+  lazy flush on ``scores``, size-triggered auto-flush);
+* :class:`repro.serving.engine.ServingEngine` — the asynchronous
+  front-end: a dedicated worker thread owns the flush clock
+  (deadline / size budget / drain) and is the **only** thread that ever
+  calls the model.
+
+Split of responsibilities:
+
+* :class:`PendingScores` — one ticket per submitted request; resolves
+  with a score vector (or the flush's exception) via a
+  :class:`threading.Event`, so any thread can block in
+  :meth:`PendingScores.wait`.
+* :class:`RequestQueue` — plain pending-request state (request tuples,
+  per-task pending row counts, oldest-enqueue timestamp).  No locks: the
+  owning shell serializes access.
+* :class:`ScoringCore` — validation and flush execution: compiles each
+  task's drained requests into one :class:`repro.plan.ScoringPlan`,
+  runs the planned model call under ``no_grad``/``dtype_scope``, and
+  scatters scores back onto the tickets.  A model error inside one
+  task's call **fails that task's tickets with the captured exception**
+  (instead of orphaning them unresolved) and still executes the other
+  task before re-raising — one poisoned batch never strands its
+  co-batched neighbours in limbo.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import dtype_scope, no_grad
+from repro.plan import ScoringPlan
+from repro.store import iter_stores
+
+__all__ = ["PendingScores", "RequestQueue", "ScoringCore"]
+
+
+class PendingScores:
+    """A ticket for one submitted request; resolves at a flush.
+
+    The ticket resolves exactly once — either with the request's score
+    vector or, when its flush's model call raised, with that exception
+    (re-raised by :attr:`scores` / :meth:`wait`, so the submitter sees
+    the real failure instead of a generic "never resolved" error).
+    """
+
+    __slots__ = ("_owner", "_scores", "_error", "_event", "resolved_at")
+
+    def __init__(self, owner) -> None:
+        self._owner = owner
+        self._scores: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._event = threading.Event()
+        #: ``time.perf_counter()`` at resolution (latency accounting).
+        self.resolved_at: Optional[float] = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether the ticket has resolved (with scores or a failure)."""
+        return self._event.is_set()
+
+    @property
+    def failed(self) -> bool:
+        """Whether the ticket's flush failed (``scores`` will raise)."""
+        return self._error is not None
+
+    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until resolution; return the scores.
+
+        On a synchronous front-end this triggers a flush; on the async
+        engine it blocks on the ticket's event until the worker's clock
+        fires (``timeout`` in seconds bounds the wait).  Raises the
+        flush's exception if the model call failed, ``TimeoutError`` if
+        the deadline passed with the ticket still pending.
+        """
+        if not self._event.is_set():
+            self._owner._wait_ticket(self, timeout)
+        if self._error is not None:
+            raise self._error
+        if self._scores is None:
+            raise TimeoutError(
+                f"scoring ticket unresolved after {timeout}s — the flush "
+                "clock has not fired yet (is the engine running?)"
+            )
+        return self._scores
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The request's score vector (blocks/flushes if still pending)."""
+        return self.wait()
+
+    def _resolve(self, scores: np.ndarray) -> None:
+        self._scores = scores
+        self.resolved_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if not self._event.is_set():
+            self._error = error
+            self.resolved_at = time.perf_counter()
+            self._event.set()
+
+
+class RequestQueue:
+    """Pending request tuples plus the bookkeeping a flush policy needs.
+
+    Pure state — the owning shell provides locking.  ``first_enqueued_at``
+    is the ``time.monotonic()`` of the oldest pending request (the
+    deadline clock's anchor); ``last_seq`` is the submission sequence
+    number of the newest (drain targets).
+    """
+
+    __slots__ = ("items", "participants", "pending_rows", "first_enqueued_at", "last_seq")
+
+    def __init__(self) -> None:
+        self.items: List[tuple] = []          # (user, candidates, ticket)
+        self.participants: List[tuple] = []   # (user, item, candidates, ticket)
+        self.pending_rows: Dict[str, int] = {"items": 0, "participants": 0}
+        self.first_enqueued_at: Optional[float] = None
+        self.last_seq = 0
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.items or self.participants)
+
+    @property
+    def max_task_rows(self) -> int:
+        """Largest per-task pending row count (the size-budget trigger)."""
+        return max(self.pending_rows.values())
+
+    def _note(self, task: str, rows: int, seq: int, now: Optional[float]) -> None:
+        self.pending_rows[task] += rows
+        self.last_seq = seq
+        if self.first_enqueued_at is None:
+            self.first_enqueued_at = time.monotonic() if now is None else now
+
+    def add_items(self, user: int, candidates: np.ndarray, ticket: PendingScores,
+                  seq: int = 0, now: Optional[float] = None) -> None:
+        self.items.append((int(user), candidates, ticket))
+        self._note("items", candidates.size, seq, now)
+
+    def add_participants(self, user: int, item: int, candidates: np.ndarray,
+                         ticket: PendingScores, seq: int = 0,
+                         now: Optional[float] = None) -> None:
+        self.participants.append((int(user), int(item), candidates, ticket))
+        self._note("participants", candidates.size, seq, now)
+
+    def swap(self) -> Tuple[List[tuple], List[tuple], int]:
+        """Drain the queue: return ``(items, participants, last_seq)``."""
+        drained = (self.items, self.participants, self.last_seq)
+        self.items, self.participants = [], []
+        self.pending_rows = {"items": 0, "participants": 0}
+        self.first_enqueued_at = None
+        return drained
+
+
+class ScoringCore:
+    """Validation + flush execution over one model (no queue, no clock)."""
+
+    def __init__(self, model, dtype: str = "float64") -> None:
+        if dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be float32|float64, got {dtype!r}")
+        self.model = model
+        self.dtype = dtype
+        self.stats = {
+            "requests": 0,
+            "flushes": 0,
+            "failed_flushes": 0,
+            "flat_rows": 0,
+            "unique_pairs": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission-side validation
+    # ------------------------------------------------------------------
+    def _check_ids(self, kind: str, ids, bound_attr: str) -> None:
+        """Reject out-of-range ids at submit time.
+
+        A malformed id that only exploded inside a flush would fail
+        every co-batched ticket; validating here keeps one bad request
+        from poisoning its neighbours' flush.
+        """
+        bound = getattr(self.model, bound_attr, None)
+        ids = np.asarray(ids)
+        low = int(ids.min()) if ids.size else 0
+        high = int(ids.max()) if ids.size else -1
+        if low < 0 or (bound is not None and high >= bound):
+            raise ValueError(
+                f"{kind} ids must lie in [0, {bound}), got range [{low}, {high}]"
+            )
+
+    def check_item_request(self, user: int, candidate_items: Sequence[int]) -> np.ndarray:
+        """Validate a Task-A request; return the canonical candidate array."""
+        candidates = np.asarray(candidate_items, dtype=np.int64).ravel()
+        if candidates.size == 0:
+            raise ValueError("a scoring request needs at least one candidate")
+        self._check_ids("user", [user], "n_users")
+        self._check_ids("item", candidates, "n_items")
+        return candidates
+
+    def check_participant_request(
+        self, user: int, item: int, candidate_users: Sequence[int]
+    ) -> np.ndarray:
+        """Validate a Task-B request; return the canonical candidate array."""
+        candidates = np.asarray(candidate_users, dtype=np.int64).ravel()
+        if candidates.size == 0:
+            raise ValueError("a scoring request needs at least one candidate")
+        self._check_ids("user", [user], "n_users")
+        self._check_ids("item", [item], "n_items")
+        self._check_ids("participant", candidates, "n_users")
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Flush execution
+    # ------------------------------------------------------------------
+    def execute(self, items: List[tuple], participants: List[tuple]) -> None:
+        """One flush over drained request lists.
+
+        Every ticket in ``items``/``participants`` is resolved — with
+        scores on success, with the captured exception if its task's
+        model call raised.  One task failing never skips the other; the
+        first exception is re-raised after both ran so a synchronous
+        caller still sees it (the async engine catches it and keeps
+        serving).
+        """
+        if not items and not participants:
+            return
+        self.stats["flushes"] += 1
+        # Unlike the evaluation protocol, the cached encoder pass is
+        # deliberately kept across flushes (recomputing it per flush
+        # would defeat serving): under float32 the model therefore holds
+        # a reduced-precision cache for as long as it serves — hand the
+        # model back to training/analysis via release().
+        was_training = getattr(self.model, "training", False)
+        if was_training:
+            # Serve in eval mode (no dropout etc.), like EvalProtocol.run.
+            self.model.eval()
+        error: Optional[BaseException] = None
+        try:
+            with no_grad(), dtype_scope(self.dtype):
+                if items:
+                    error = self._execute_items(items)
+                if participants:
+                    participant_error = self._execute_participants(participants)
+                    error = error or participant_error
+        finally:
+            if was_training:
+                self.model.train()
+        if error is not None:
+            self.stats["failed_flushes"] += 1
+            raise error
+
+    def _execute_items(self, requests: List[tuple]) -> Optional[BaseException]:
+        # The try spans plan construction, the model call AND the
+        # scatter: *any* failure (including a model returning a
+        # wrong-length score vector, which only scatter detects) must
+        # fail the tickets rather than strand them.  _fail is a no-op
+        # on already-resolved tickets, so a scatter that failed midway
+        # leaves its resolved prefix intact.
+        try:
+            users = np.concatenate(
+                [np.full(len(cands), user, dtype=np.int64) for user, cands, _ in requests]
+            )
+            items = np.concatenate([cands for _, cands, _ in requests])
+            plan = ScoringPlan.from_item_pairs(users, items)
+            self._scatter(plan, self.model.score_item_plan(plan),
+                          [(len(cands), ticket) for _, cands, ticket in requests])
+        except Exception as exc:
+            self._fail_tickets([req[-1] for req in requests], exc)
+            return exc
+        return None
+
+    def _execute_participants(self, requests: List[tuple]) -> Optional[BaseException]:
+        try:
+            users = np.concatenate(
+                [np.full(len(c), user, dtype=np.int64) for user, _, c, _ in requests]
+            )
+            items = np.concatenate(
+                [np.full(len(c), item, dtype=np.int64) for _, item, c, _ in requests]
+            )
+            participants = np.concatenate([c for _, _, c, _ in requests])
+            plan = ScoringPlan.from_triples(users, items, participants)
+            self._scatter(plan, self.model.score_participant_plan(plan),
+                          [(len(c), ticket) for _, _, c, ticket in requests])
+        except Exception as exc:
+            self._fail_tickets([req[-1] for req in requests], exc)
+            return exc
+        return None
+
+    def _fail_tickets(self, tickets: List[PendingScores], exc: BaseException) -> None:
+        for ticket in tickets:
+            ticket._fail(exc)
+
+    def _scatter(self, plan: ScoringPlan, unique_scores, sizes_and_tickets) -> None:
+        self.stats["flat_rows"] += plan.n_flat
+        self.stats["unique_pairs"] += plan.n_pairs
+        flat = plan.scatter(unique_scores)
+        offset = 0
+        for size, ticket in sizes_and_tickets:
+            # copy: a slice view would pin the whole flush's array alive
+            # for as long as any one ticket is retained (and let callers
+            # write through into their neighbours' scores).
+            ticket._resolve(flat[offset : offset + size].copy())
+            offset += size
+
+    # ------------------------------------------------------------------
+    # Model lifecycle helpers
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> Dict[str, dict]:
+        """Per-store gather/cache counters of the served model.
+
+        Sharded models answer each flush's planned call with one gather
+        per touched shard; the counters (``gathers``, ``shard_touches``,
+        ``max_shard_gather_rows`` …, see
+        :class:`repro.store.EmbeddingStore`) expose that behaviour —
+        ``shard_touches / gathers`` is the effective fan-out per call
+        and ``max_shard_gather_rows`` bounds the transient per-shard
+        resident rows a flush ever added on top of the shard's owned
+        block.  :class:`repro.store.LRUCachedStore`-wrapped tables add
+        ``cache_hits``/``cache_misses``/``cache_evictions`` (inner-store
+        counters nest under ``"inner"``).  Empty for models without
+        store-backed tables.  Safe to call from any thread (counters
+        are snapshotted under each store's lock).
+        """
+        out: Dict[str, dict] = {}
+        if hasattr(self.model, "named_modules"):
+            for name, store in iter_stores(self.model):
+                out[name] = dict(store.stats_snapshot(), n_shards=store.n_shards)
+        return out
+
+    def refresh(self) -> None:
+        """Re-run the encoder after a weight update (checkpoint swap)."""
+        if hasattr(self.model, "invalidate_cache"):
+            self.model.invalidate_cache()
+        with no_grad(), dtype_scope(self.dtype):
+            if hasattr(self.model, "refresh_cache"):
+                self.model.refresh_cache()
+
+    def release(self) -> None:
+        """Drop the model's serving cache (after flushing, see shells)."""
+        if hasattr(self.model, "invalidate_cache"):
+            self.model.invalidate_cache()

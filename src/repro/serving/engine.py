@@ -1,0 +1,418 @@
+"""Asynchronous serving engine: a worker thread owns the flush clock.
+
+:class:`repro.serving.frontend.RequestBatcher` is synchronous by design
+— the caller decides when to flush.  Production traffic has no such
+caller: requests arrive concurrently from many submitters and *someone*
+must trade latency against batch size.  :class:`ServingEngine` is that
+someone — a dedicated worker thread that flushes the shared
+:class:`repro.serving.core.RequestQueue` when the first of three
+triggers fires:
+
+* **deadline** — the oldest pending request has waited ``max_delay_ms``
+  (the latency budget: no request waits longer than one deadline plus
+  one flush);
+* **size** — a task's pending flat rows reached ``max_pending`` (the
+  batch-size budget: planned calls stay bounded no matter the arrival
+  rate);
+* **drain** — :meth:`drain` / :meth:`stop` asked for the queue to empty
+  now (shutdown and checkpoint swaps never strand tickets).
+
+Threading model — the single-scorer invariant
+---------------------------------------------
+``submit_items`` / ``submit_participants`` are safe from **any**
+thread: they validate, enqueue under the engine lock, and return a
+:class:`repro.serving.core.PendingScores` ticket whose
+:meth:`~repro.serving.core.PendingScores.wait` blocks on an event until
+the worker's clock fires.  The **model** is only ever touched by the
+worker thread (asserted in ``_flush``): the encoder cache
+(``refresh_cache``), the version-keyed fold cache
+(:meth:`repro.nn.layers.Linear.folded_blocks`) and the plan entity
+caches are all plain dicts that rely on this serialization — that is
+what makes them safe without per-call locking.  Store gather *counters*
+are additionally lock-guarded (see :mod:`repro.store.base`) so
+:meth:`stats` can snapshot them from any thread mid-flush.  Weight
+swaps route through :meth:`refresh`, which the worker executes between
+flushes — never concurrently with one.
+
+Scores are **bit-identical** to a synchronous
+``RequestBatcher.flush`` over the same co-batched requests: both shells
+drive the same :class:`repro.serving.core.ScoringCore`, so the plan,
+the model call and the scatter are literally the same computation.
+
+A flush whose model call raises fails that task's tickets with the
+captured exception (submitters see the real error from ``wait()``) and
+the worker keeps serving subsequent batches — one poisoned batch never
+takes the engine down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.core import PendingScores, RequestQueue, ScoringCore
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Thread-safe serving front-end with a worker-owned flush clock.
+
+    Parameters
+    ----------
+    model: any :class:`repro.baselines.base.GroupBuyingRecommender`.
+    dtype: scoring precision (``"float32"`` for the inference fast path).
+    max_pending: flat request rows per task that trigger a size flush.
+    max_delay_ms: latency deadline — the oldest pending request is
+        flushed at most this many milliseconds after submission (plus
+        one flush duration).
+
+    Usage::
+
+        engine = ServingEngine(model, max_delay_ms=2.0)
+        with engine:                       # start()/stop() lifecycle
+            ticket = engine.submit_items(user=3, candidate_items=[1, 2])
+            scores = ticket.wait(timeout=1.0)
+
+    ``stop()`` drains: every pending ticket resolves before the worker
+    exits.
+    """
+
+    def __init__(
+        self,
+        model,
+        dtype: str = "float64",
+        max_pending: int = 65536,
+        max_delay_ms: float = 2.0,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if not max_delay_ms > 0:
+            raise ValueError(f"max_delay_ms must be > 0, got {max_delay_ms}")
+        self._core = ScoringCore(model, dtype)
+        self.max_pending = max_pending
+        self.max_delay_ms = float(max_delay_ms)
+        self._cv = threading.Condition()
+        self._queue = RequestQueue()
+        self._seq = 0              # newest submitted request
+        self._served_seq = 0       # newest request a finished flush covered
+        self._size_due = False
+        self._drain_requested = False
+        self._refresh_requested = False
+        self._stopping = False
+        self._worker: Optional[threading.Thread] = None
+        self._worker_error: Optional[BaseException] = None
+        self._flush_causes = {"deadline": 0, "size": 0, "drain": 0, "stop": 0}
+        self._flush_count = 0
+        self._flush_seconds_total = 0.0
+        self._max_flush_seconds = 0.0
+
+    @property
+    def model(self):
+        return self._core.model
+
+    @property
+    def dtype(self) -> str:
+        return self._core.dtype
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingEngine":
+        """Spawn the worker thread that owns the flush clock."""
+        with self._cv:
+            if self._worker is not None and self._worker.is_alive():
+                raise RuntimeError("serving engine is already running")
+            self._stopping = False
+            self._worker_error = None
+            self._worker = threading.Thread(
+                target=self._run, name="repro-serving-engine", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain pending requests, then join the worker (idempotent).
+
+        Every outstanding ticket resolves (with scores, or with its
+        flush's exception) before this returns; submits arriving after
+        ``stop()`` raise.
+        """
+        with self._cv:
+            worker = self._worker
+            self._stopping = True
+            self._cv.notify_all()
+        if worker is not None:
+            worker.join()
+        with self._cv:
+            self._worker = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker is alive and accepting submissions."""
+        with self._cv:
+            return self._running_locked()
+
+    def _running_locked(self) -> bool:
+        return (
+            self._worker is not None
+            and self._worker.is_alive()
+            and not self._stopping
+        )
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def release(self) -> None:
+        """Stop (draining) and drop the model's serving cache.
+
+        The float32 analogue of ``RequestBatcher.release()``: call
+        before handing the model back to training or analysis code.
+        """
+        self.stop()
+        self._core.release()
+
+    # ------------------------------------------------------------------
+    # Submission (any thread)
+    # ------------------------------------------------------------------
+    def submit_items(self, user: int, candidate_items: Sequence[int]) -> PendingScores:
+        """Queue a Task-A request: rank ``candidate_items`` for ``user``."""
+        candidates = self._core.check_item_request(user, candidate_items)
+        ticket = PendingScores(self)
+        with self._cv:
+            self._require_running_locked()
+            self._seq += 1
+            self._queue.add_items(user, candidates, ticket, seq=self._seq)
+            self._note_submit_locked()
+        return ticket
+
+    def submit_participants(
+        self, user: int, item: int, candidate_users: Sequence[int]
+    ) -> PendingScores:
+        """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``."""
+        candidates = self._core.check_participant_request(user, item, candidate_users)
+        ticket = PendingScores(self)
+        with self._cv:
+            self._require_running_locked()
+            self._seq += 1
+            self._queue.add_participants(user, item, candidates, ticket, seq=self._seq)
+            self._note_submit_locked()
+        return ticket
+
+    def _note_submit_locked(self) -> None:
+        self._core.stats["requests"] += 1
+        if self._queue.max_task_rows >= self.max_pending:
+            self._size_due = True
+        self._cv.notify_all()
+
+    def _require_running_locked(self) -> None:
+        if not self._running_locked():
+            if self._worker_error is not None:
+                raise RuntimeError(
+                    "serving engine worker died"
+                ) from self._worker_error
+            raise RuntimeError("serving engine is not running — call start()")
+
+    def score_items(self, user: int, candidate_items: Sequence[int],
+                    timeout: Optional[float] = None) -> np.ndarray:
+        """Submit a Task-A request and block until its flush resolves it."""
+        return self.submit_items(user, candidate_items).wait(timeout)
+
+    def score_participants(self, user: int, item: int,
+                           candidate_users: Sequence[int],
+                           timeout: Optional[float] = None) -> np.ndarray:
+        """Submit a Task-B request and block until its flush resolves it."""
+        return self.submit_participants(user, item, candidate_users).wait(timeout)
+
+    def _wait_ticket(self, ticket: PendingScores, timeout: Optional[float]) -> None:
+        """Ticket resolution hook: block until the worker's clock fires."""
+        ticket._event.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Explicit drain / weight swap (any thread)
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every request submitted so far has been flushed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            target = self._seq
+            if self._served_seq >= target:
+                return
+            self._require_running_locked()
+            self._drain_requested = True
+            self._cv.notify_all()
+            while self._served_seq < target:
+                if self._worker is None or not self._worker.is_alive():
+                    raise RuntimeError(
+                        "serving engine worker exited with requests pending"
+                    ) from self._worker_error
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(f"drain() timed out after {timeout}s")
+                self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
+
+    def refresh(self) -> None:
+        """Re-run the encoder after a weight update (checkpoint swap).
+
+        The refresh is executed *by the worker thread between flushes*
+        — the single-scorer invariant covers cache rebuilds too — and
+        this call blocks until it completed.  The request is routed to
+        the worker whenever it is **alive**, even mid-``stop()`` (the
+        worker serves refresh requests before exiting, and a stopping
+        worker may still be scoring its final drain flush — an inline
+        refresh would race it).  Only with the worker fully gone does
+        the refresh run inline, where no concurrent scorer can exist.
+        """
+        with self._cv:
+            worker = self._worker
+            if worker is not None and worker.is_alive():
+                self._refresh_requested = True
+                self._cv.notify_all()
+                while self._refresh_requested:
+                    if not worker.is_alive():
+                        # The worker exited (stop or crash) before
+                        # serving the request; it is no longer scoring,
+                        # so falling through to inline is safe.
+                        self._refresh_requested = False
+                        break
+                    self._cv.wait(0.05)
+                else:
+                    return  # the worker performed the refresh
+        self._core.refresh()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _due_cause_locked(self) -> Optional[str]:
+        """Which flush trigger (if any) fired, in priority order."""
+        if not self._queue.has_pending:
+            self._drain_requested = False  # nothing left to drain
+            return None
+        if self._size_due:
+            return "size"
+        if self._drain_requested:
+            return "drain"
+        anchored = self._queue.first_enqueued_at
+        if anchored is not None and (
+            time.monotonic() - anchored
+        ) * 1000.0 >= self.max_delay_ms:
+            return "deadline"
+        return None
+
+    def _poll_timeout_locked(self) -> Optional[float]:
+        """Seconds until the deadline trigger could fire (None = idle)."""
+        anchored = self._queue.first_enqueued_at
+        if anchored is None:
+            return None
+        remaining = self.max_delay_ms / 1000.0 - (time.monotonic() - anchored)
+        return max(remaining, 0.0)
+
+    def _run(self) -> None:
+        try:
+            while True:
+                with self._cv:
+                    while True:
+                        cause = self._due_cause_locked()
+                        if cause or self._stopping or self._refresh_requested:
+                            break
+                        self._cv.wait(self._poll_timeout_locked())
+                    refresh = self._refresh_requested
+                    batch = None
+                    if cause or (self._stopping and self._queue.has_pending):
+                        items, participants, last_seq = self._queue.swap()
+                        self._size_due = False
+                        self._drain_requested = False
+                        batch = (items, participants, last_seq, cause or "stop")
+                    elif self._stopping and not refresh:
+                        return
+                if refresh:
+                    self._core.refresh()
+                    with self._cv:
+                        self._refresh_requested = False
+                        self._cv.notify_all()
+                if batch is not None:
+                    self._flush(*batch)
+        except BaseException as exc:  # failsafe: never strand tickets
+            with self._cv:
+                self._worker_error = exc
+                items, participants, last_seq = self._queue.swap()
+                self._served_seq = max(self._served_seq, last_seq)
+                for request in items + participants:
+                    request[-1]._fail(exc)
+                self._cv.notify_all()
+            raise
+
+    def _flush(self, items, participants, last_seq: int, cause: str) -> None:
+        # The single-scorer invariant: ONLY this thread may touch the
+        # model (encoder cache, fold caches, plan caches) while the
+        # engine runs.
+        assert threading.current_thread() is self._worker, (
+            "ServingEngine._flush must run on the engine worker thread"
+        )
+        started = time.perf_counter()
+        try:
+            self._core.execute(items, participants)
+        except Exception:
+            # Tickets already carry the captured exception; the engine
+            # keeps serving subsequent batches.
+            pass
+        duration = time.perf_counter() - started
+        with self._cv:
+            self._served_seq = max(self._served_seq, last_seq)
+            self._flush_causes[cause] += 1
+            self._flush_count += 1
+            self._flush_seconds_total += duration
+            self._max_flush_seconds = max(self._max_flush_seconds, duration)
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> Dict[str, dict]:
+        """Per-store gather/cache counters (see ``ScoringCore.shard_stats``)."""
+        return self._core.shard_stats()
+
+    def stats(self) -> dict:
+        """One JSON-serializable snapshot across every serving layer.
+
+        Unifies the engine's clock counters (flush causes, flush
+        durations, queue depth), the batching core's request/dedup
+        counters, each store's gather counters, and — for
+        :class:`repro.store.LRUCachedStore`-fronted tables — aggregate
+        cache hit rates.  Safe to call from any thread while the engine
+        serves.
+        """
+        with self._cv:
+            flushes = self._flush_count
+            engine = {
+                "running": self._running_locked(),
+                "dtype": self._core.dtype,
+                "max_pending": self.max_pending,
+                "max_delay_ms": self.max_delay_ms,
+                "pending_rows": dict(self._queue.pending_rows),
+                "submitted": self._seq,
+                "served": self._served_seq,
+                "flushes": flushes,
+                "flush_causes": dict(self._flush_causes),
+                "avg_flush_seconds": (
+                    self._flush_seconds_total / flushes if flushes else 0.0
+                ),
+                "max_flush_seconds": self._max_flush_seconds,
+            }
+            batcher = dict(self._core.stats)
+        stores = self._core.shard_stats()
+        hits = sum(s.get("cache_hits", 0) for s in stores.values())
+        misses = sum(s.get("cache_misses", 0) for s in stores.values())
+        cache = {
+            "stores": sum(1 for s in stores.values() if "cache_hits" in s),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+        return {"engine": engine, "batcher": batcher, "stores": stores, "cache": cache}

@@ -1,13 +1,14 @@
 """Request-batching serving front-end over the planned scoring path.
 
 Serving traffic arrives as many small, overlapping requests — "score
-these 100 candidate items for user *u*" — and the ROADMAP's async
-serving item needs them coalesced before they hit the model.  The
-:class:`RequestBatcher` here is that front-end, synchronous by design so
-an async wrapper can later own the clock:
+these 100 candidate items for user *u*" — and the ROADMAP's serving
+items need them coalesced before they hit the model.  The
+:class:`RequestBatcher` here is the **synchronous** front-end; the
+caller owns the flush clock:
 
 1. ``submit_items`` / ``submit_participants`` enqueue a request and
-   return a :class:`PendingScores` ticket immediately;
+   return a :class:`repro.serving.core.PendingScores` ticket
+   immediately;
 2. ``flush`` compiles *all* pending requests of a task into one
    :class:`repro.plan.ScoringPlan` — cross-request duplicate (u, i) /
    (u, i, p) pairs are scored once, and the factorized models compute
@@ -18,6 +19,13 @@ an async wrapper can later own the clock:
    automatically, so the front-end is safe to use one request at a time
    (it just stops being fast).
 
+The queue/plan/scatter mechanics live in :mod:`repro.serving.core`
+(shared with the asynchronous :class:`repro.serving.engine
+.ServingEngine`, whose worker thread owns the clock instead).  A flush
+whose model call raises **fails its co-batched tickets with that
+exception** — ``scores``/``wait`` re-raise it instead of a generic
+"never resolved" error — and the other task's requests still flush.
+
 The model's encoder cache (``refresh_cache``) is reused across flushes;
 call :meth:`RequestBatcher.refresh` after swapping weights (e.g. via
 :func:`repro.training.checkpoint.restore_model`, which can hand serving
@@ -26,55 +34,17 @@ float32 weights directly).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.tensor import dtype_scope, no_grad
-from repro.plan import ScoringPlan
-from repro.store import iter_stores
+from repro.serving.core import PendingScores, RequestQueue, ScoringCore
 
 __all__ = ["PendingScores", "RequestBatcher"]
 
 
-class PendingScores:
-    """A ticket for one submitted request; resolves at the next flush."""
-
-    __slots__ = ("_batcher", "_scores")
-
-    def __init__(self, batcher: "RequestBatcher") -> None:
-        self._batcher = batcher
-        self._scores: Optional[np.ndarray] = None
-
-    @property
-    def ready(self) -> bool:
-        """Whether the owning batcher has flushed this request yet."""
-        return self._scores is not None
-
-    @property
-    def scores(self) -> np.ndarray:
-        """The request's score vector (flushes the batcher if pending).
-
-        Raises ``RuntimeError`` if the ticket is still unresolved after
-        flushing — that happens when an earlier flush failed mid-batch
-        (e.g. an out-of-range id aborted the model call) and dropped its
-        queue; resubmit the request rather than chasing a ``None``.
-        """
-        if self._scores is None:
-            self._batcher.flush()
-        if self._scores is None:
-            raise RuntimeError(
-                "scoring ticket was never resolved — a previous flush "
-                "failed and dropped its batch; resubmit the request"
-            )
-        return self._scores
-
-    def _resolve(self, scores: np.ndarray) -> None:
-        self._scores = scores
-
-
 class RequestBatcher:
-    """Coalesces scoring requests into planned matrix calls.
+    """Coalesces scoring requests into planned matrix calls (synchronous).
 
     Parameters
     ----------
@@ -85,77 +55,56 @@ class RequestBatcher:
     max_pending: flat request rows per task after which a submit
         triggers an automatic flush — bounds both latency and the size
         of a planned call.
+
+    Single-threaded by design: submits and flushes must come from one
+    thread (use :class:`repro.serving.engine.ServingEngine` for
+    thread-safe submission with a worker-owned clock).
     """
 
     def __init__(self, model, dtype: str = "float64", max_pending: int = 65536) -> None:
-        if dtype not in ("float32", "float64"):
-            raise ValueError(f"dtype must be float32|float64, got {dtype!r}")
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
-        self.model = model
-        self.dtype = dtype
+        self._core = ScoringCore(model, dtype)
+        self._queue = RequestQueue()
         self.max_pending = max_pending
-        self._items: List[tuple] = []          # (user, candidates, ticket)
-        self._participants: List[tuple] = []   # (user, item, candidates, ticket)
-        self._pending_rows = {"items": 0, "participants": 0}
-        self.stats = {
-            "requests": 0,
-            "flushes": 0,
-            "flat_rows": 0,
-            "unique_pairs": 0,
-        }
+
+    @property
+    def model(self):
+        return self._core.model
+
+    @property
+    def dtype(self) -> str:
+        return self._core.dtype
+
+    @property
+    def stats(self) -> dict:
+        """Lifetime counters: requests, flushes, flat vs unique rows."""
+        return self._core.stats
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def _check_ids(self, kind: str, ids, bound_attr: str) -> None:
-        """Reject out-of-range ids at submit time.
-
-        A malformed id that only exploded inside ``flush`` would orphan
-        every co-batched ticket (the queue is swapped out before the
-        model call); validating here keeps one bad request from
-        poisoning its neighbours' flush.
-        """
-        bound = getattr(self.model, bound_attr, None)
-        ids = np.asarray(ids)
-        low = int(ids.min()) if ids.size else 0
-        high = int(ids.max()) if ids.size else -1
-        if low < 0 or (bound is not None and high >= bound):
-            raise ValueError(
-                f"{kind} ids must lie in [0, {bound}), got range [{low}, {high}]"
-            )
-
     def submit_items(self, user: int, candidate_items: Sequence[int]) -> PendingScores:
         """Queue a Task-A request: rank ``candidate_items`` for ``user``."""
-        candidates = np.asarray(candidate_items, dtype=np.int64).ravel()
-        if candidates.size == 0:
-            raise ValueError("a scoring request needs at least one candidate")
-        self._check_ids("user", [user], "n_users")
-        self._check_ids("item", candidates, "n_items")
+        candidates = self._core.check_item_request(user, candidate_items)
         ticket = PendingScores(self)
-        self._items.append((int(user), candidates, ticket))
-        self._track_submit("items", candidates.size)
+        self._queue.add_items(user, candidates, ticket)
+        self._track_submit()
         return ticket
 
     def submit_participants(
         self, user: int, item: int, candidate_users: Sequence[int]
     ) -> PendingScores:
         """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``."""
-        candidates = np.asarray(candidate_users, dtype=np.int64).ravel()
-        if candidates.size == 0:
-            raise ValueError("a scoring request needs at least one candidate")
-        self._check_ids("user", [user], "n_users")
-        self._check_ids("item", [item], "n_items")
-        self._check_ids("participant", candidates, "n_users")
+        candidates = self._core.check_participant_request(user, item, candidate_users)
         ticket = PendingScores(self)
-        self._participants.append((int(user), int(item), candidates, ticket))
-        self._track_submit("participants", candidates.size)
+        self._queue.add_participants(user, item, candidates, ticket)
+        self._track_submit()
         return ticket
 
-    def _track_submit(self, task: str, rows: int) -> None:
-        self.stats["requests"] += 1
-        self._pending_rows[task] += rows
-        if self._pending_rows[task] >= self.max_pending:
+    def _track_submit(self) -> None:
+        self._core.stats["requests"] += 1
+        if self._queue.max_task_rows >= self.max_pending:
             self.flush()
 
     # ------------------------------------------------------------------
@@ -163,64 +112,13 @@ class RequestBatcher:
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Score every pending request in one planned call per task."""
-        if not self._items and not self._participants:
-            return
-        self.stats["flushes"] += 1
-        # Unlike the evaluation protocol, the cached encoder pass is
-        # deliberately kept across flushes (recomputing it per flush
-        # would defeat serving): under float32 the model therefore holds
-        # a reduced-precision cache for as long as it serves — hand the
-        # model back to training/analysis via :meth:`release`.
-        was_training = getattr(self.model, "training", False)
-        if was_training:
-            # Serve in eval mode (no dropout etc.), like EvalProtocol.run.
-            self.model.eval()
-        try:
-            with no_grad(), dtype_scope(self.dtype):
-                if self._items:
-                    self._flush_items()
-                if self._participants:
-                    self._flush_participants()
-        finally:
-            if was_training:
-                self.model.train()
+        items, participants, _ = self._queue.swap()
+        self._core.execute(items, participants)
 
-    def _flush_items(self) -> None:
-        requests, self._items = self._items, []
-        self._pending_rows["items"] = 0
-        users = np.concatenate(
-            [np.full(len(cands), user, dtype=np.int64) for user, cands, _ in requests]
-        )
-        items = np.concatenate([cands for _, cands, _ in requests])
-        plan = ScoringPlan.from_item_pairs(users, items)
-        self._scatter(plan, self.model.score_item_plan(plan),
-                      [(len(cands), ticket) for _, cands, ticket in requests])
-
-    def _flush_participants(self) -> None:
-        requests, self._participants = self._participants, []
-        self._pending_rows["participants"] = 0
-        users = np.concatenate(
-            [np.full(len(c), user, dtype=np.int64) for user, _, c, _ in requests]
-        )
-        items = np.concatenate(
-            [np.full(len(c), item, dtype=np.int64) for _, item, c, _ in requests]
-        )
-        participants = np.concatenate([c for _, _, c, _ in requests])
-        plan = ScoringPlan.from_triples(users, items, participants)
-        self._scatter(plan, self.model.score_participant_plan(plan),
-                      [(len(c), ticket) for _, _, c, ticket in requests])
-
-    def _scatter(self, plan: ScoringPlan, unique_scores, sizes_and_tickets) -> None:
-        self.stats["flat_rows"] += plan.n_flat
-        self.stats["unique_pairs"] += plan.n_pairs
-        flat = plan.scatter(unique_scores)
-        offset = 0
-        for size, ticket in sizes_and_tickets:
-            # copy: a slice view would pin the whole flush's array alive
-            # for as long as any one ticket is retained (and let callers
-            # write through into their neighbours' scores).
-            ticket._resolve(flat[offset : offset + size].copy())
-            offset += size
+    def _wait_ticket(self, ticket: PendingScores, timeout: Optional[float]) -> None:
+        """Ticket resolution hook: the caller owns the clock, so flush."""
+        del ticket, timeout
+        self.flush()
 
     # ------------------------------------------------------------------
     # Convenience / lifecycle
@@ -236,30 +134,13 @@ class RequestBatcher:
         return self.submit_participants(user, item, candidate_users).scores
 
     def shard_stats(self) -> Dict[str, dict]:
-        """Per-store gather counters of the served model.
-
-        Sharded models answer each flush's planned call with one gather
-        per touched shard; the counters (``gathers``, ``shard_touches``,
-        ``max_shard_gather_rows`` …, see
-        :class:`repro.store.EmbeddingStore`) expose that behaviour —
-        ``shard_touches / gathers`` is the effective fan-out per call
-        and ``max_shard_gather_rows`` bounds the transient per-shard
-        resident rows a flush ever added on top of the shard's owned
-        block.  Empty for models without store-backed tables.
-        """
-        out: Dict[str, dict] = {}
-        if hasattr(self.model, "named_modules"):
-            for name, store in iter_stores(self.model):
-                out[name] = dict(store.stats, n_shards=store.n_shards)
-        return out
+        """Per-store gather/cache counters of the served model
+        (see :meth:`repro.serving.core.ScoringCore.shard_stats`)."""
+        return self._core.shard_stats()
 
     def refresh(self) -> None:
         """Re-run the encoder after a weight update (checkpoint swap)."""
-        if hasattr(self.model, "invalidate_cache"):
-            self.model.invalidate_cache()
-        with no_grad(), dtype_scope(self.dtype):
-            if hasattr(self.model, "refresh_cache"):
-                self.model.refresh_cache()
+        self._core.refresh()
 
     def release(self) -> None:
         """Flush remaining requests and drop the model's serving cache.
@@ -268,5 +149,4 @@ class RequestBatcher:
         so no reduced-precision encoder pass leaks out of serving.
         """
         self.flush()
-        if hasattr(self.model, "invalidate_cache"):
-            self.model.invalidate_cache()
+        self._core.release()

@@ -7,6 +7,9 @@ Public surface:
 * :class:`DenseStore` — the single-table layout (default);
 * :class:`ShardedStore` — rows hash/range-partitioned across N
   in-process shard workers, gathered once per shard per planned call;
+* :class:`LRUCachedStore` / :func:`cache_hot_rows` — hot-row LRU cache
+  decorating any store (serving's skewed id streams hit it instead of
+  the shard machinery);
 * :class:`Partitioner` / :class:`ShardMap` — id→shard assignment and
   compiled per-shard gather plans (also cached on scoring plans);
 * :func:`make_store` — layout factory used by the layer constructors;
@@ -19,15 +22,18 @@ import numpy as np
 
 from repro.store.base import EmbeddingStore, Partitioner, ShardMap, iter_stores
 from repro.store.dense import DenseStore
+from repro.store.lru import LRUCachedStore, cache_hot_rows
 from repro.store.sharded import ShardedStore
 
 __all__ = [
     "EmbeddingStore",
     "DenseStore",
     "ShardedStore",
+    "LRUCachedStore",
     "Partitioner",
     "ShardMap",
     "iter_stores",
+    "cache_hot_rows",
     "make_store",
 ]
 

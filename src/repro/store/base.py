@@ -26,6 +26,7 @@ table regardless of layout (see ``Embedding._state_items``).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -200,12 +201,23 @@ class EmbeddingStore:
     shard-gather benchmark; stores also record *touched rows* on their
     parameters (``Parameter.touched_rows``) during grad-enabled
     gathers, which the lazy-row optimizer mode consumes.
+
+    Thread-safety: the bookkeeping side effects of a gather — the
+    ``stats`` counters and the ``touched_rows`` records — are guarded
+    by a per-store lock, so a stats reader (``stats_snapshot``, the
+    serving engine's unified ``stats()``) can run concurrently with the
+    engine's scorer thread without torn counters, and two grad-enabled
+    gathers cannot drop each other's touched-row unions.  The gathered
+    *values* need no lock (reads of parameter buffers); concurrent
+    **writers** (optimizer steps, ``assign_rows``) are still the
+    caller's responsibility to serialize against readers.
     """
 
     num_rows: int
     dim: int
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.stats = {
             "gathers": 0,
             "rows_gathered": 0,
@@ -266,29 +278,35 @@ class EmbeddingStore:
         return values
 
     def _record_gather(self, n_rows: int, shards_touched: int, max_shard_rows: int) -> None:
-        self.stats["gathers"] += 1
-        self.stats["rows_gathered"] += int(n_rows)
-        self.stats["max_gather_rows"] = max(self.stats["max_gather_rows"], int(n_rows))
-        self.stats["shard_touches"] += int(shards_touched)
-        self.stats["max_shard_gather_rows"] = max(
-            self.stats["max_shard_gather_rows"], int(max_shard_rows)
-        )
+        with self._lock:
+            self.stats["gathers"] += 1
+            self.stats["rows_gathered"] += int(n_rows)
+            self.stats["max_gather_rows"] = max(self.stats["max_gather_rows"], int(n_rows))
+            self.stats["shard_touches"] += int(shards_touched)
+            self.stats["max_shard_gather_rows"] = max(
+                self.stats["max_shard_gather_rows"], int(max_shard_rows)
+            )
 
-    @staticmethod
-    def _record_touch(param: Parameter, local_ids: np.ndarray) -> None:
+    def stats_snapshot(self) -> dict:
+        """Consistent copy of the gather counters (safe from any thread)."""
+        with self._lock:
+            return dict(self.stats)
+
+    def _record_touch(self, param: Parameter, local_ids: np.ndarray) -> None:
         """Note rows that will receive gradient (lazy-row optimizer input)."""
         if not (is_grad_enabled() and param.requires_grad):
             return
-        prev = getattr(param, "touched_rows", None)
-        if prev is True:
-            return
-        rows = np.unique(local_ids)
-        param.touched_rows = rows if prev is None else np.union1d(prev, rows)
+        with self._lock:
+            prev = getattr(param, "touched_rows", None)
+            if prev is True:
+                return
+            rows = np.unique(local_ids)
+            param.touched_rows = rows if prev is None else np.union1d(prev, rows)
 
-    @staticmethod
-    def _record_touch_all(param: Parameter) -> None:
+    def _record_touch_all(self, param: Parameter) -> None:
         if is_grad_enabled() and param.requires_grad:
-            param.touched_rows = True
+            with self._lock:
+                param.touched_rows = True
 
     @staticmethod
     def _assign_param(param: Parameter, values: np.ndarray, dtype=None) -> None:

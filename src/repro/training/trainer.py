@@ -49,9 +49,8 @@ from repro.core.config import MGBRConfig
 from repro.core.losses import (
     aux_loss_task_a,
     aux_loss_task_b,
-    aux_loss_task_b_from_scores,
+    aux_losses_from_scores,
     bpr_loss,
-    listwise_aux_loss,
     total_loss,
 )
 from repro.data.batching import iter_task_a_batches, iter_task_b_batches
@@ -436,16 +435,19 @@ class Trainer:
             loss_b = bpr_loss(batch.take(flat_b, "pos_b"), batch.take(flat_b, "neg_b"))
             aux_a = aux_b = None
             if corrupted_items is not None:
-                if cfg.beta_a > 0:
-                    aux_a = listwise_aux_loss(
-                        batch.take(flat_a, "aux_tp"),
-                        batch.take(flat_a, "aux_ti"),
-                        mode=cfg.aux_a_mode,
-                    )
-                if cfg.beta_b > 0:
-                    aux_b = aux_loss_task_b_from_scores(
-                        batch.take(flat_b, "pos_b"), batch.take(flat_b, "aux_ti")
-                    )
+                # Both auxiliary losses read the same scattered
+                # corruption segments (the (u, i', p) bank is scored
+                # once for L'_A and L'_B; listnet's softmax normalizer
+                # is built once over that bank).
+                aux_a, aux_b = aux_losses_from_scores(
+                    batch.take(flat_b, "pos_b"),
+                    batch.take(flat_a, "aux_tp") if cfg.beta_a > 0 else None,
+                    batch.take(flat_a, "aux_ti") if cfg.beta_a > 0 else None,
+                    batch.take(flat_b, "aux_ti"),
+                    mode=cfg.aux_a_mode,
+                    want_a=cfg.beta_a > 0,
+                    want_b=cfg.beta_b > 0,
+                )
             return loss_a, loss_b, aux_a, aux_b
 
         # Per-head pair/triple dedup for models without a joint stack.

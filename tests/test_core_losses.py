@@ -80,6 +80,29 @@ class TestListwiseAux:
             [_t(rng, 2, 3), _t(rng, 2, 3)],
         )
 
+    def test_listnet_matches_concat_softmax_reference(self, rng):
+        # The two-bank logsumexp form must equal the classic
+        # "softmax over the concatenated 2|T| bank, CE against uniform
+        # T_P mass" definition it replaced.
+        tp = _t(rng, 5, 7)
+        ti = _t(rng, 5, 7)
+        value = float(listwise_aux_loss(tp, ti, mode="listnet").data)
+        logits = np.concatenate([tp.data, ti.data], axis=1)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        target = np.zeros_like(logits)
+        target[:, :7] = 1.0 / 7
+        reference = float(-(target * log_probs).sum(axis=1).mean())
+        assert value == pytest.approx(reference, rel=1e-12, abs=1e-12)
+
+    def test_listnet_extreme_logits_stay_finite(self):
+        tp = tensor(np.full((2, 3), 800.0), requires_grad=True)
+        ti = tensor(np.full((2, 3), -800.0), requires_grad=True)
+        loss = listwise_aux_loss(tp, ti, mode="listnet")
+        assert np.isfinite(loss.data)
+        loss.backward()
+        assert np.all(np.isfinite(tp.grad)) and np.all(np.isfinite(ti.grad))
+
     def test_literal_gradcheck(self, rng):
         assert gradcheck(
             lambda a, b: listwise_aux_loss(a, b, "literal"),
