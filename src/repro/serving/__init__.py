@@ -1,26 +1,50 @@
-"""``repro.serving`` — request batching and the async serving engine.
+"""``repro.serving`` — request batching and the async serving engines.
 
 Coalesces incoming (user, candidates) scoring requests into one
 :class:`repro.plan.ScoringPlan` per task and scatters the scores back to
-each caller.  Three layers:
+each caller.  Layers:
 
+* :mod:`repro.serving.errors` — the typed failure hierarchy
+  (``ServingError`` → ``OverloadError`` / ``DeadlineExceeded`` /
+  ``EngineStopped`` / ``TicketTimeout``);
 * :mod:`repro.serving.core` — the pure queue/plan/scatter core
-  (tickets, request queue, flush execution with failure isolation);
+  (tickets, request queue with admission budget, flush execution with
+  failure isolation);
 * :class:`RequestBatcher` — the synchronous shell (caller owns the
   flush clock);
 * :class:`ServingEngine` — the asynchronous shell: thread-safe submits,
   a worker thread owning the flush clock (deadline / size budget /
-  drain), and a unified ``stats()`` snapshot.
+  drain), admission control, age-based load shedding, optional
+  :class:`DegradationPolicy`, and a unified ``stats()`` snapshot;
+* :class:`MultiWorkerEngine` — n per-worker engines partitioned by
+  ``user % n_workers`` so per-worker caches stay coherent, with
+  fleet-level ``stats()`` / ``drain()`` / ``refresh()``.
 """
 
 from repro.serving.core import PendingScores, RequestQueue, ScoringCore
+from repro.serving.degrade import DegradationPolicy
 from repro.serving.engine import ServingEngine
+from repro.serving.errors import (
+    DeadlineExceeded,
+    EngineStopped,
+    OverloadError,
+    ServingError,
+    TicketTimeout,
+)
 from repro.serving.frontend import RequestBatcher
+from repro.serving.multi import MultiWorkerEngine
 
 __all__ = [
     "RequestBatcher",
     "ServingEngine",
+    "MultiWorkerEngine",
+    "DegradationPolicy",
     "PendingScores",
     "RequestQueue",
     "ScoringCore",
+    "ServingError",
+    "OverloadError",
+    "DeadlineExceeded",
+    "EngineStopped",
+    "TicketTimeout",
 ]

@@ -40,9 +40,10 @@ import numpy as np
 
 from repro.nn.tensor import dtype_scope, no_grad
 from repro.plan import ScoringPlan
+from repro.serving.errors import OverloadError, TicketTimeout
 from repro.store import iter_stores
 
-__all__ = ["PendingScores", "RequestQueue", "ScoringCore"]
+__all__ = ["PendingScores", "RequestQueue", "ScoringCore", "split_expired"]
 
 
 class PendingScores:
@@ -54,15 +55,21 @@ class PendingScores:
     the real failure instead of a generic "never resolved" error).
     """
 
-    __slots__ = ("_owner", "_scores", "_error", "_event", "resolved_at")
+    __slots__ = ("_owner", "_scores", "_error", "_event", "_pad_to",
+                 "resolved_at", "degraded")
 
     def __init__(self, owner) -> None:
         self._owner = owner
         self._scores: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
         self._event = threading.Event()
+        self._pad_to: Optional[int] = None
         #: ``time.perf_counter()`` at resolution (latency accounting).
         self.resolved_at: Optional[float] = None
+        #: Whether this request was served degraded (candidate list
+        #: truncated to the policy's top-K and/or scored by the fallback
+        #: model) — see :class:`repro.serving.degrade.DegradationPolicy`.
+        self.degraded: bool = False
 
     @property
     def ready(self) -> bool:
@@ -74,21 +81,34 @@ class PendingScores:
         """Whether the ticket's flush failed (``scores`` will raise)."""
         return self._error is not None
 
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception this ticket resolved with, if any.
+
+        ``None`` while pending or after a successful resolution.  Lets
+        overload accounting distinguish shed (``DeadlineExceeded``) from
+        genuinely failed tickets without re-raising.
+        """
+        return self._error
+
     def wait(self, timeout: Optional[float] = None) -> np.ndarray:
         """Block until resolution; return the scores.
 
         On a synchronous front-end this triggers a flush; on the async
         engine it blocks on the ticket's event until the worker's clock
         fires (``timeout`` in seconds bounds the wait).  Raises the
-        flush's exception if the model call failed, ``TimeoutError`` if
-        the deadline passed with the ticket still pending.
+        flush's exception if the model call failed, or
+        :class:`repro.serving.errors.TicketTimeout` (a typed
+        :class:`TimeoutError`) if the deadline passed with the ticket
+        still **unresolved** — in which case the ticket stays live and
+        may still resolve later.
         """
         if not self._event.is_set():
             self._owner._wait_ticket(self, timeout)
         if self._error is not None:
             raise self._error
         if self._scores is None:
-            raise TimeoutError(
+            raise TicketTimeout(
                 f"scoring ticket unresolved after {timeout}s — the flush "
                 "clock has not fired yet (is the engine running?)"
             )
@@ -100,6 +120,14 @@ class PendingScores:
         return self.wait()
 
     def _resolve(self, scores: np.ndarray) -> None:
+        if self._pad_to is not None and scores.shape[0] < self._pad_to:
+            # Degraded truncation: the flush scored only the first K
+            # candidates.  Pad to the submitted length with -inf so the
+            # score vector stays aligned with the caller's candidate
+            # list (unscored candidates rank last).
+            padded = np.full(self._pad_to, -np.inf, dtype=scores.dtype)
+            padded[: scores.shape[0]] = scores
+            scores = padded
         self._scores = scores
         self.resolved_at = time.perf_counter()
         self._event.set()
@@ -118,16 +146,35 @@ class RequestQueue:
     is the ``time.monotonic()`` of the oldest pending request (the
     deadline clock's anchor); ``last_seq`` is the submission sequence
     number of the newest (drain targets).
+
+    Every request tuple carries its ``time.monotonic()`` enqueue
+    timestamp as the **last** element and its ticket as the
+    **second-to-last**, whatever the task — items are
+    ``(user, candidates, ticket, enqueued_at)``, participants
+    ``(user, item, candidates, ticket, enqueued_at)`` — so age-based
+    shedding and ticket resolution index uniformly.
+
+    ``max_rows`` is the optional **admission (depth) budget**: total
+    pending flat rows across both tasks beyond which :meth:`admit`
+    rejects with :class:`repro.serving.errors.OverloadError` — the
+    fail-fast half of overload control (the shells call it before
+    enqueueing, so a rejected submit creates no ticket).
     """
 
-    __slots__ = ("items", "participants", "pending_rows", "first_enqueued_at", "last_seq")
+    __slots__ = ("items", "participants", "pending_rows", "first_enqueued_at",
+                 "last_seq", "max_rows", "rejected")
 
-    def __init__(self) -> None:
-        self.items: List[tuple] = []          # (user, candidates, ticket)
-        self.participants: List[tuple] = []   # (user, item, candidates, ticket)
+    def __init__(self, max_rows: Optional[int] = None) -> None:
+        if max_rows is not None and max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        self.items: List[tuple] = []          # (user, candidates, ticket, t)
+        self.participants: List[tuple] = []   # (user, item, candidates, ticket, t)
         self.pending_rows: Dict[str, int] = {"items": 0, "participants": 0}
         self.first_enqueued_at: Optional[float] = None
         self.last_seq = 0
+        self.max_rows = max_rows
+        #: Lifetime count of submits the depth budget refused.
+        self.rejected = 0
 
     @property
     def has_pending(self) -> bool:
@@ -138,21 +185,45 @@ class RequestQueue:
         """Largest per-task pending row count (the size-budget trigger)."""
         return max(self.pending_rows.values())
 
-    def _note(self, task: str, rows: int, seq: int, now: Optional[float]) -> None:
+    @property
+    def total_rows(self) -> int:
+        """Total pending flat rows across tasks (the depth-budget meter)."""
+        return sum(self.pending_rows.values())
+
+    def admit(self, rows: int) -> None:
+        """Fail fast if ``rows`` more flat rows would burst the depth budget.
+
+        Raises :class:`repro.serving.errors.OverloadError` (and counts
+        the rejection) when ``max_rows`` is set and already met — excess
+        load becomes an immediate typed error at submit instead of
+        unbounded queueing.  A no-op without a budget.
+        """
+        if self.max_rows is not None and self.total_rows + rows > self.max_rows:
+            self.rejected += 1
+            raise OverloadError(
+                f"admission rejected: {self.total_rows} pending rows + "
+                f"{rows} requested exceed the depth budget of {self.max_rows}",
+                pending_rows=self.total_rows,
+                budget_rows=self.max_rows,
+            )
+
+    def _note(self, task: str, rows: int, seq: int, now: float) -> None:
         self.pending_rows[task] += rows
         self.last_seq = seq
         if self.first_enqueued_at is None:
-            self.first_enqueued_at = time.monotonic() if now is None else now
+            self.first_enqueued_at = now
 
     def add_items(self, user: int, candidates: np.ndarray, ticket: PendingScores,
                   seq: int = 0, now: Optional[float] = None) -> None:
-        self.items.append((int(user), candidates, ticket))
+        now = time.monotonic() if now is None else now
+        self.items.append((int(user), candidates, ticket, now))
         self._note("items", candidates.size, seq, now)
 
     def add_participants(self, user: int, item: int, candidates: np.ndarray,
                          ticket: PendingScores, seq: int = 0,
                          now: Optional[float] = None) -> None:
-        self.participants.append((int(user), int(item), candidates, ticket))
+        now = time.monotonic() if now is None else now
+        self.participants.append((int(user), int(item), candidates, ticket, now))
         self._note("participants", candidates.size, seq, now)
 
     def swap(self) -> Tuple[List[tuple], List[tuple], int]:
@@ -162,6 +233,27 @@ class RequestQueue:
         self.pending_rows = {"items": 0, "participants": 0}
         self.first_enqueued_at = None
         return drained
+
+
+def split_expired(
+    requests: List[tuple], now: float, max_age_ms: Optional[float]
+) -> Tuple[List[tuple], List[tuple]]:
+    """Partition drained requests into ``(fresh, expired)`` by queue age.
+
+    ``expired`` holds every request whose enqueue timestamp (the tuple's
+    last element) is older than ``max_age_ms`` — the load-shedding half
+    of overload control: the worker fails these with
+    :class:`repro.serving.errors.DeadlineExceeded` *before* planning, so
+    a saturated engine spends its capacity on requests whose callers are
+    still waiting.  With no budget everything is fresh.
+    """
+    if max_age_ms is None or not requests:
+        return requests, []
+    cutoff = now - max_age_ms / 1000.0
+    fresh = [req for req in requests if req[-1] >= cutoff]
+    if len(fresh) == len(requests):
+        return requests, []
+    return fresh, [req for req in requests if req[-1] < cutoff]
 
 
 class ScoringCore:
@@ -269,31 +361,31 @@ class ScoringCore:
         # leaves its resolved prefix intact.
         try:
             users = np.concatenate(
-                [np.full(len(cands), user, dtype=np.int64) for user, cands, _ in requests]
+                [np.full(len(cands), user, dtype=np.int64) for user, cands, *_ in requests]
             )
-            items = np.concatenate([cands for _, cands, _ in requests])
+            items = np.concatenate([cands for _, cands, *_ in requests])
             plan = ScoringPlan.from_item_pairs(users, items)
             self._scatter(plan, self.model.score_item_plan(plan),
-                          [(len(cands), ticket) for _, cands, ticket in requests])
+                          [(len(cands), ticket) for _, cands, ticket, *_ in requests])
         except Exception as exc:
-            self._fail_tickets([req[-1] for req in requests], exc)
+            self._fail_tickets([req[-2] for req in requests], exc)
             return exc
         return None
 
     def _execute_participants(self, requests: List[tuple]) -> Optional[BaseException]:
         try:
             users = np.concatenate(
-                [np.full(len(c), user, dtype=np.int64) for user, _, c, _ in requests]
+                [np.full(len(c), user, dtype=np.int64) for user, _, c, *_ in requests]
             )
             items = np.concatenate(
-                [np.full(len(c), item, dtype=np.int64) for _, item, c, _ in requests]
+                [np.full(len(c), item, dtype=np.int64) for _, item, c, *_ in requests]
             )
-            participants = np.concatenate([c for _, _, c, _ in requests])
+            participants = np.concatenate([c for _, _, c, *_ in requests])
             plan = ScoringPlan.from_triples(users, items, participants)
             self._scatter(plan, self.model.score_participant_plan(plan),
-                          [(len(c), ticket) for _, _, c, ticket in requests])
+                          [(len(c), ticket) for _, _, c, ticket, *_ in requests])
         except Exception as exc:
-            self._fail_tickets([req[-1] for req in requests], exc)
+            self._fail_tickets([req[-2] for req in requests], exc)
             return exc
         return None
 

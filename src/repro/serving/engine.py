@@ -43,6 +43,30 @@ A flush whose model call raises fails that task's tickets with the
 captured exception (submitters see the real error from ``wait()``) and
 the worker keeps serving subsequent batches — one poisoned batch never
 takes the engine down.
+
+Overload behaviour
+------------------
+Past saturation an unbounded queue makes latency a function of how long
+the overload has lasted.  Three optional mechanisms make the engine fail
+*predictably* instead (see :mod:`repro.serving.errors` and
+``docs/serving.md``):
+
+* **admission control** — ``max_queue_rows`` bounds total pending flat
+  rows; a submit past the budget raises
+  :class:`repro.serving.errors.OverloadError` synchronously (no ticket,
+  no waiting);
+* **load shedding** — ``max_queue_age_ms`` bounds queue wait; the worker
+  fails requests that aged past it with
+  :class:`repro.serving.errors.DeadlineExceeded` *before* planning them,
+  so shed rate — not latency — absorbs the excess;
+* **graceful degradation** — a
+  :class:`repro.serving.degrade.DegradationPolicy` truncates candidate
+  lists to a top-K and/or routes flushes to a cheap fallback model once
+  queue depth has stayed above a watermark for N consecutive flushes;
+  degraded tickets carry ``degraded=True``.
+
+``stats()["overload"]`` accounts for every path: ``accepted ==`` scored
+``+ shed + aborted``, and ``rejected`` submits never created a ticket.
 """
 
 from __future__ import annotations
@@ -53,7 +77,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.serving.core import PendingScores, RequestQueue, ScoringCore
+from repro.serving.core import PendingScores, RequestQueue, ScoringCore, split_expired
+from repro.serving.degrade import DegradationPolicy
+from repro.serving.errors import DeadlineExceeded, EngineStopped
 
 __all__ = ["ServingEngine"]
 
@@ -69,6 +95,20 @@ class ServingEngine:
     max_delay_ms: latency deadline — the oldest pending request is
         flushed at most this many milliseconds after submission (plus
         one flush duration).
+    max_queue_rows: admission (depth) budget — total pending flat rows
+        beyond which ``submit_*`` raises
+        :class:`repro.serving.errors.OverloadError` instead of
+        enqueueing.  ``None`` (default) admits everything.
+    max_queue_age_ms: shedding (age) budget — requests that waited
+        longer than this in the queue are failed with
+        :class:`repro.serving.errors.DeadlineExceeded` by the worker
+        before planning, instead of being scored late.  ``None``
+        (default) never sheds.
+    degradation: optional
+        :class:`repro.serving.degrade.DegradationPolicy` — under
+        sustained queue pressure, truncate candidate lists and/or score
+        via a registered fallback model; served tickets carry
+        ``degraded=True``.
 
     Usage::
 
@@ -78,7 +118,9 @@ class ServingEngine:
             scores = ticket.wait(timeout=1.0)
 
     ``stop()`` drains: every pending ticket resolves before the worker
-    exits.
+    exits.  ``stop(drain=False)`` instead fails still-pending tickets
+    with :class:`repro.serving.errors.EngineStopped` — either way, no
+    waiter is ever left to hit its own timeout.
     """
 
     def __init__(
@@ -87,16 +129,32 @@ class ServingEngine:
         dtype: str = "float64",
         max_pending: int = 65536,
         max_delay_ms: float = 2.0,
+        max_queue_rows: Optional[int] = None,
+        max_queue_age_ms: Optional[float] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         if not max_delay_ms > 0:
             raise ValueError(f"max_delay_ms must be > 0, got {max_delay_ms}")
+        if max_queue_age_ms is not None and not max_queue_age_ms > 0:
+            raise ValueError(
+                f"max_queue_age_ms must be > 0, got {max_queue_age_ms}"
+            )
         self._core = ScoringCore(model, dtype)
         self.max_pending = max_pending
         self.max_delay_ms = float(max_delay_ms)
+        self.max_queue_age_ms = (
+            None if max_queue_age_ms is None else float(max_queue_age_ms)
+        )
+        self.degradation = degradation
+        self._fallback_core: Optional[ScoringCore] = None
+        if degradation is not None:
+            degradation.check_compatible(model)
+            if degradation.fallback_model is not None:
+                self._fallback_core = ScoringCore(degradation.fallback_model, dtype)
         self._cv = threading.Condition()
-        self._queue = RequestQueue()
+        self._queue = RequestQueue(max_rows=max_queue_rows)
         self._seq = 0              # newest submitted request
         self._served_seq = 0       # newest request a finished flush covered
         self._size_due = False
@@ -109,6 +167,14 @@ class ServingEngine:
         self._flush_count = 0
         self._flush_seconds_total = 0.0
         self._max_flush_seconds = 0.0
+        # Overload accounting: accepted == scored + shed + aborted, and
+        # rejected submits never created a ticket.
+        self._accepted = 0         # submits the admission controller let in
+        self._shed = 0             # requests failed with DeadlineExceeded
+        self._aborted = 0          # requests failed with EngineStopped
+        self._degraded_served = 0  # requests resolved by a degraded flush
+        self._pressure_streak = 0  # consecutive flushes at/above watermark
+        self._degraded_active = False
 
     @property
     def model(self):
@@ -117,6 +183,11 @@ class ServingEngine:
     @property
     def dtype(self) -> str:
         return self._core.dtype
+
+    @property
+    def max_queue_rows(self) -> Optional[int]:
+        """The admission depth budget (``None`` = admit everything)."""
+        return self._queue.max_rows
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,16 +205,31 @@ class ServingEngine:
             self._worker.start()
         return self
 
-    def stop(self) -> None:
-        """Drain pending requests, then join the worker (idempotent).
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker, resolving every outstanding ticket (idempotent).
 
-        Every outstanding ticket resolves (with scores, or with its
-        flush's exception) before this returns; submits arriving after
-        ``stop()`` raise.
+        With ``drain=True`` (default) pending requests are flushed
+        first: every outstanding ticket resolves with scores (or with
+        its flush's exception) before this returns.  With
+        ``drain=False`` still-pending tickets are **failed immediately**
+        with :class:`repro.serving.errors.EngineStopped` — the fast path
+        out of a saturated queue.  Either way no waiter is left to hit
+        its own timeout, and submits arriving after ``stop()`` raise
+        :class:`repro.serving.errors.EngineStopped` synchronously.
         """
         with self._cv:
             worker = self._worker
             self._stopping = True
+            if not drain and self._queue.has_pending:
+                items, participants, last_seq = self._queue.swap()
+                self._served_seq = max(self._served_seq, last_seq)
+                self._aborted += len(items) + len(participants)
+                exc = EngineStopped(
+                    "serving engine stopped (drain=False) before this "
+                    "request was scored"
+                )
+                for request in items + participants:
+                    request[-2]._fail(exc)
             self._cv.notify_all()
         if worker is not None:
             worker.join()
@@ -177,16 +263,26 @@ class ServingEngine:
         """
         self.stop()
         self._core.release()
+        if self._fallback_core is not None:
+            self._fallback_core.release()
 
     # ------------------------------------------------------------------
     # Submission (any thread)
     # ------------------------------------------------------------------
     def submit_items(self, user: int, candidate_items: Sequence[int]) -> PendingScores:
-        """Queue a Task-A request: rank ``candidate_items`` for ``user``."""
+        """Queue a Task-A request: rank ``candidate_items`` for ``user``.
+
+        Raises :class:`repro.serving.errors.EngineStopped` when the
+        engine is not serving and
+        :class:`repro.serving.errors.OverloadError` when the admission
+        depth budget is exhausted — both synchronously, before any
+        ticket exists.
+        """
         candidates = self._core.check_item_request(user, candidate_items)
         ticket = PendingScores(self)
         with self._cv:
             self._require_running_locked()
+            self._queue.admit(candidates.size)
             self._seq += 1
             self._queue.add_items(user, candidates, ticket, seq=self._seq)
             self._note_submit_locked()
@@ -195,11 +291,15 @@ class ServingEngine:
     def submit_participants(
         self, user: int, item: int, candidate_users: Sequence[int]
     ) -> PendingScores:
-        """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``."""
+        """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``.
+
+        Same typed-failure contract as :meth:`submit_items`.
+        """
         candidates = self._core.check_participant_request(user, item, candidate_users)
         ticket = PendingScores(self)
         with self._cv:
             self._require_running_locked()
+            self._queue.admit(candidates.size)
             self._seq += 1
             self._queue.add_participants(user, item, candidates, ticket, seq=self._seq)
             self._note_submit_locked()
@@ -207,6 +307,7 @@ class ServingEngine:
 
     def _note_submit_locked(self) -> None:
         self._core.stats["requests"] += 1
+        self._accepted += 1
         if self._queue.max_task_rows >= self.max_pending:
             self._size_due = True
         self._cv.notify_all()
@@ -214,10 +315,10 @@ class ServingEngine:
     def _require_running_locked(self) -> None:
         if not self._running_locked():
             if self._worker_error is not None:
-                raise RuntimeError(
+                raise EngineStopped(
                     "serving engine worker died"
                 ) from self._worker_error
-            raise RuntimeError("serving engine is not running — call start()")
+            raise EngineStopped("serving engine is not running — call start()")
 
     def score_items(self, user: int, candidate_items: Sequence[int],
                     timeout: Optional[float] = None) -> np.ndarray:
@@ -249,7 +350,7 @@ class ServingEngine:
             self._cv.notify_all()
             while self._served_seq < target:
                 if self._worker is None or not self._worker.is_alive():
-                    raise RuntimeError(
+                    raise EngineStopped(
                         "serving engine worker exited with requests pending"
                     ) from self._worker_error
                 remaining = None if deadline is None else deadline - time.monotonic()
@@ -284,7 +385,13 @@ class ServingEngine:
                     self._cv.wait(0.05)
                 else:
                     return  # the worker performed the refresh
+        self._refresh_cores()
+
+    def _refresh_cores(self) -> None:
+        """Rebuild the primary (and fallback, if any) serving caches."""
         self._core.refresh()
+        if self._fallback_core is not None:
+            self._fallback_core.refresh()
 
     # ------------------------------------------------------------------
     # Worker
@@ -325,14 +432,17 @@ class ServingEngine:
                     refresh = self._refresh_requested
                     batch = None
                     if cause or (self._stopping and self._queue.has_pending):
+                        depth = self._queue.total_rows
                         items, participants, last_seq = self._queue.swap()
                         self._size_due = False
                         self._drain_requested = False
-                        batch = (items, participants, last_seq, cause or "stop")
+                        degraded = self._update_pressure_locked(depth)
+                        batch = (items, participants, last_seq,
+                                 cause or "stop", degraded)
                     elif self._stopping and not refresh:
                         return
                 if refresh:
-                    self._core.refresh()
+                    self._refresh_cores()
                     with self._cv:
                         self._refresh_requested = False
                         self._cv.notify_all()
@@ -344,11 +454,56 @@ class ServingEngine:
                 items, participants, last_seq = self._queue.swap()
                 self._served_seq = max(self._served_seq, last_seq)
                 for request in items + participants:
-                    request[-1]._fail(exc)
+                    request[-2]._fail(exc)
                 self._cv.notify_all()
             raise
 
-    def _flush(self, items, participants, last_seq: int, cause: str) -> None:
+    def _update_pressure_locked(self, depth: int) -> bool:
+        """Advance the degradation hysteresis with one flush's queue depth.
+
+        Degradation engages after ``trigger_flushes`` consecutive
+        flushes drained a queue at/above ``watermark_rows`` and
+        disengages on the first shallower flush.
+        """
+        policy = self.degradation
+        if policy is None:
+            return False
+        if depth >= policy.watermark_rows:
+            self._pressure_streak += 1
+        else:
+            self._pressure_streak = 0
+        self._degraded_active = self._pressure_streak >= policy.trigger_flushes
+        return self._degraded_active
+
+    def _shed_expired(self, items, participants):
+        """Fail requests that aged past ``max_queue_age_ms``; return the rest.
+
+        Runs on the worker *before* planning: a request that already
+        outlived its queue-age budget would resolve after its caller
+        gave up, so its ticket gets a typed
+        :class:`repro.serving.errors.DeadlineExceeded` instead of
+        consuming scoring capacity.
+        """
+        now = time.monotonic()
+        items, shed_items = split_expired(items, now, self.max_queue_age_ms)
+        participants, shed_parts = split_expired(
+            participants, now, self.max_queue_age_ms
+        )
+        shed = shed_items + shed_parts
+        for request in shed:
+            age_ms = (now - request[-1]) * 1000.0
+            request[-2]._fail(
+                DeadlineExceeded(
+                    f"request shed after {age_ms:.1f}ms in queue "
+                    f"(age budget {self.max_queue_age_ms}ms)",
+                    age_ms=age_ms,
+                    budget_ms=self.max_queue_age_ms,
+                )
+            )
+        return items, participants, len(shed)
+
+    def _flush(self, items, participants, last_seq: int, cause: str,
+               degraded: bool = False) -> None:
         # The single-scorer invariant: ONLY this thread may touch the
         # model (encoder cache, fold caches, plan caches) while the
         # engine runs.
@@ -356,8 +511,19 @@ class ServingEngine:
             "ServingEngine._flush must run on the engine worker thread"
         )
         started = time.perf_counter()
+        items, participants, n_shed = self._shed_expired(items, participants)
+        core = self._core
+        n_degraded = 0
+        if degraded and (items or participants):
+            policy = self.degradation
+            items, participants = policy.truncate(items, participants)
+            for request in items + participants:
+                request[-2].degraded = True
+            n_degraded = len(items) + len(participants)
+            if self._fallback_core is not None:
+                core = self._fallback_core
         try:
-            self._core.execute(items, participants)
+            core.execute(items, participants)
         except Exception:
             # Tickets already carry the captured exception; the engine
             # keeps serving subsequent batches.
@@ -369,6 +535,8 @@ class ServingEngine:
             self._flush_count += 1
             self._flush_seconds_total += duration
             self._max_flush_seconds = max(self._max_flush_seconds, duration)
+            self._shed += n_shed
+            self._degraded_served += n_degraded
             self._cv.notify_all()
 
     # ------------------------------------------------------------------
@@ -382,8 +550,12 @@ class ServingEngine:
         """One JSON-serializable snapshot across every serving layer.
 
         Unifies the engine's clock counters (flush causes, flush
-        durations, queue depth), the batching core's request/dedup
-        counters, each store's gather counters, and — for
+        durations, queue depth), the overload counters
+        (accepted/rejected/shed/aborted/degraded plus the live
+        degradation state — ``accepted == scored + shed + aborted``),
+        the batching core's request/dedup counters (plus the fallback
+        core's under ``"fallback"`` when a degradation fallback is
+        registered), each store's gather counters, and — for
         :class:`repro.store.LRUCachedStore`-fronted tables — aggregate
         cache hit rates.  Safe to call from any thread while the engine
         serves.
@@ -405,7 +577,23 @@ class ServingEngine:
                 ),
                 "max_flush_seconds": self._max_flush_seconds,
             }
+            overload = {
+                "max_queue_rows": self._queue.max_rows,
+                "max_queue_age_ms": self.max_queue_age_ms,
+                "accepted": self._accepted,
+                "rejected": self._queue.rejected,
+                "shed": self._shed,
+                "aborted": self._aborted,
+                "degraded": self._degraded_served,
+                "degraded_active": self._degraded_active,
+                "pressure_streak": self._pressure_streak,
+            }
             batcher = dict(self._core.stats)
+            fallback = (
+                dict(self._fallback_core.stats)
+                if self._fallback_core is not None
+                else None
+            )
         stores = self._core.shard_stats()
         hits = sum(s.get("cache_hits", 0) for s in stores.values())
         misses = sum(s.get("cache_misses", 0) for s in stores.values())
@@ -415,4 +603,13 @@ class ServingEngine:
             "misses": misses,
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
-        return {"engine": engine, "batcher": batcher, "stores": stores, "cache": cache}
+        out = {
+            "engine": engine,
+            "overload": overload,
+            "batcher": batcher,
+            "stores": stores,
+            "cache": cache,
+        }
+        if fallback is not None:
+            out["fallback"] = fallback
+        return out

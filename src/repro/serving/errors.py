@@ -1,0 +1,87 @@
+"""Typed serving errors: how the serving layer fails *predictably*.
+
+Past saturation an unbounded queue turns every latency percentile into a
+function of how long the overload has lasted.  The serving layer instead
+converts excess load into **typed failures** the caller can act on —
+retry against another replica, back off, or fall through to a cached
+response — rather than into unbounded waiting:
+
+``ServingError``
+    Root of the hierarchy (a :class:`RuntimeError`, so legacy callers
+    that caught broad runtime failures keep working).
+
+``OverloadError``
+    The admission controller refused the request at **submit** time:
+    the queue's depth budget (``max_queue_rows`` pending flat rows) was
+    exhausted.  Raised synchronously from ``submit_*`` — no ticket is
+    created, nothing waits.  Safe to retry after backoff.
+
+``DeadlineExceeded``
+    The request was admitted, but by the time the worker drained it the
+    request had already waited longer than the age budget
+    (``max_queue_age_ms``) — scoring it would only return a result its
+    caller has stopped waiting for.  The worker **sheds** it before
+    planning: the ticket resolves with this error instead of scores.
+
+``EngineStopped``
+    The engine is not serving: ``submit_*`` after ``stop()`` raises it
+    synchronously, and ``stop(drain=False)`` resolves every
+    still-pending ticket with it (no waiter is ever left to hit its own
+    timeout).
+
+``TicketTimeout``
+    ``PendingScores.wait(timeout=)`` gave up with the ticket still
+    unresolved.  Subclasses :class:`TimeoutError` too, so existing
+    ``except TimeoutError`` call-sites keep working — but unlike the
+    errors above it says nothing about the *request*: the ticket may
+    still resolve later (e.g. once the flush clock fires).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "OverloadError",
+    "DeadlineExceeded",
+    "EngineStopped",
+    "TicketTimeout",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for every typed failure the serving layer raises."""
+
+
+class OverloadError(ServingError):
+    """Admission control rejected the submit: the depth budget is full."""
+
+    def __init__(self, message: str, pending_rows: int = 0, budget_rows: int = 0) -> None:
+        super().__init__(message)
+        #: Flat rows pending at rejection time (diagnostic).
+        self.pending_rows = pending_rows
+        #: The depth budget that was exhausted.
+        self.budget_rows = budget_rows
+
+
+class DeadlineExceeded(ServingError):
+    """The request aged past its queue budget and was shed before scoring."""
+
+    def __init__(self, message: str, age_ms: float = 0.0, budget_ms: float = 0.0) -> None:
+        super().__init__(message)
+        #: How long the request had been queued when it was shed.
+        self.age_ms = age_ms
+        #: The age budget it exceeded.
+        self.budget_ms = budget_ms
+
+
+class EngineStopped(ServingError):
+    """The engine is stopped (or stopping): this request will not be scored."""
+
+
+class TicketTimeout(ServingError, TimeoutError):
+    """``wait(timeout=)`` expired with the ticket still unresolved.
+
+    The only member of the hierarchy that is *not* final: the ticket is
+    still owned by the engine and may resolve (with scores or another
+    typed error) after this raises.
+    """

@@ -55,17 +55,29 @@ class RequestBatcher:
     max_pending: flat request rows per task after which a submit
         triggers an automatic flush — bounds both latency and the size
         of a planned call.
+    max_queue_rows: optional admission (depth) budget — total pending
+        flat rows beyond which ``submit_*`` raises a typed
+        :class:`repro.serving.errors.OverloadError` instead of
+        enqueueing.  Meaningful when it is set *below* ``max_pending``:
+        excess submits then fail fast instead of triggering ever more
+        auto-flush work.  ``None`` (default) admits everything.
 
     Single-threaded by design: submits and flushes must come from one
     thread (use :class:`repro.serving.engine.ServingEngine` for
-    thread-safe submission with a worker-owned clock).
+    thread-safe submission with a worker-owned clock).  The sync path
+    shares the engine's typed error surface:
+    ``PendingScores.wait(timeout=)`` raises
+    :class:`repro.serving.errors.TicketTimeout` on an unresolved
+    ticket, and admission rejections are
+    :class:`repro.serving.errors.OverloadError`.
     """
 
-    def __init__(self, model, dtype: str = "float64", max_pending: int = 65536) -> None:
+    def __init__(self, model, dtype: str = "float64", max_pending: int = 65536,
+                 max_queue_rows: Optional[int] = None) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._core = ScoringCore(model, dtype)
-        self._queue = RequestQueue()
+        self._queue = RequestQueue(max_rows=max_queue_rows)
         self.max_pending = max_pending
 
     @property
@@ -81,12 +93,27 @@ class RequestBatcher:
         """Lifetime counters: requests, flushes, flat vs unique rows."""
         return self._core.stats
 
+    @property
+    def max_queue_rows(self) -> Optional[int]:
+        """The admission depth budget (``None`` = admit everything)."""
+        return self._queue.max_rows
+
+    @property
+    def rejected(self) -> int:
+        """Submits the depth budget refused with ``OverloadError``."""
+        return self._queue.rejected
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit_items(self, user: int, candidate_items: Sequence[int]) -> PendingScores:
-        """Queue a Task-A request: rank ``candidate_items`` for ``user``."""
+        """Queue a Task-A request: rank ``candidate_items`` for ``user``.
+
+        Raises :class:`repro.serving.errors.OverloadError` when a
+        ``max_queue_rows`` depth budget is set and exhausted.
+        """
         candidates = self._core.check_item_request(user, candidate_items)
+        self._queue.admit(candidates.size)
         ticket = PendingScores(self)
         self._queue.add_items(user, candidates, ticket)
         self._track_submit()
@@ -95,8 +122,12 @@ class RequestBatcher:
     def submit_participants(
         self, user: int, item: int, candidate_users: Sequence[int]
     ) -> PendingScores:
-        """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``."""
+        """Queue a Task-B request: rank ``candidate_users`` for ``(user, item)``.
+
+        Same admission contract as :meth:`submit_items`.
+        """
         candidates = self._core.check_participant_request(user, item, candidate_users)
+        self._queue.admit(candidates.size)
         ticket = PendingScores(self)
         self._queue.add_participants(user, item, candidates, ticket)
         self._track_submit()

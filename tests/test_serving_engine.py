@@ -290,7 +290,10 @@ class TestStatsAndStores:
             stats = engine.stats()
         # Serializable end to end (the bench embeds it verbatim).
         json.dumps(stats)
-        assert set(stats) == {"engine", "batcher", "stores", "cache"}
+        assert set(stats) == {"engine", "overload", "batcher", "stores", "cache"}
+        assert stats["overload"]["accepted"] == 8
+        assert stats["overload"]["rejected"] == 0
+        assert stats["overload"]["shed"] == 0
         assert stats["engine"]["flushes"] >= 1
         assert stats["batcher"]["requests"] == 8
         assert stats["batcher"]["flat_rows"] == 32
@@ -336,6 +339,14 @@ class TestLatencySweep:
         report = bench.run_benchmark(
             rates=(400.0,), deadlines=(5.0,), n_requests=200
         )
+        report["overload_cells"] = bench.run_overload_cells(workers=(2,))
         bench.check_report(report)
         steady = [c for c in report["cells"] if c["steady_state"]]
         assert {c["store"] for c in steady} == {"dense", "sharded", "lru"}
+        (overload,) = report["overload_cells"]
+        # Overload really overloaded and the budgets dropped the excess.
+        assert overload["rejected"] + overload["shed"] > 0
+        assert (
+            overload["scored"] + overload["shed"] + overload["rejected"]
+            == overload["n_requests"]
+        )

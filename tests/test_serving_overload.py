@@ -1,0 +1,547 @@
+"""Overload-safe serving: admission control, shedding, degradation, multi-worker.
+
+The contract under test (docs/serving.md "Overload behaviour"): past
+saturation the engine fails *predictably* — every submit either raises a
+typed error synchronously or returns a ticket that resolves with scores
+or a typed :class:`repro.serving.ServingError`; no ticket is ever
+stranded, and the overload counters account for every request
+(``accepted == scored + shed + aborted``, ``rejected`` never ticketed).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBMF
+from repro.serving import (
+    DeadlineExceeded,
+    DegradationPolicy,
+    EngineStopped,
+    MultiWorkerEngine,
+    OverloadError,
+    RequestBatcher,
+    ServingEngine,
+    ServingError,
+    TicketTimeout,
+)
+
+N_USERS, N_ITEMS, DIM = 40, 25, 8
+
+
+def make_model(seed: int = 0) -> GBMF:
+    return GBMF(N_USERS, N_ITEMS, dim=DIM, seed=seed)
+
+
+#: Engine kwargs that park the flush clock: only drain()/stop() flush.
+PARKED = dict(max_delay_ms=60_000.0, max_pending=10**6)
+
+
+class TestErrorHierarchy:
+    def test_typed_errors_subclass_serving_error(self):
+        for exc in (OverloadError, DeadlineExceeded, EngineStopped, TicketTimeout):
+            assert issubclass(exc, ServingError)
+            assert issubclass(exc, RuntimeError)  # legacy catch-alls keep working
+        assert issubclass(TicketTimeout, TimeoutError)
+
+    def test_overload_error_carries_budget_diagnostics(self):
+        exc = OverloadError("full", pending_rows=90, budget_rows=100)
+        assert (exc.pending_rows, exc.budget_rows) == (90, 100)
+
+    def test_deadline_exceeded_carries_age(self):
+        exc = DeadlineExceeded("late", age_ms=12.5, budget_ms=10.0)
+        assert (exc.age_ms, exc.budget_ms) == (12.5, 10.0)
+
+
+class TestAdmissionControl:
+    def test_depth_budget_rejects_at_submit(self):
+        with ServingEngine(make_model(), max_queue_rows=10, **PARKED) as engine:
+            ok = engine.submit_items(0, [0, 1, 2, 3, 4, 5])        # 6 rows
+            with pytest.raises(OverloadError) as exc_info:
+                engine.submit_items(1, list(range(5)))             # 6 + 5 > 10
+            assert exc_info.value.budget_rows == 10
+            assert exc_info.value.pending_rows == 6
+            # A submit that still fits is admitted.
+            ok2 = engine.submit_items(2, [0, 1, 2, 3])             # 6 + 4 <= 10
+            engine.drain(timeout=10.0)
+            assert ok.scores.shape == (6,)
+            assert ok2.scores.shape == (4,)
+            stats = engine.stats()["overload"]
+            assert stats["accepted"] == 2
+            assert stats["rejected"] == 1
+            assert stats["max_queue_rows"] == 10
+
+    def test_budget_frees_up_after_flush(self):
+        with ServingEngine(make_model(), max_queue_rows=4, **PARKED) as engine:
+            engine.submit_items(0, [0, 1, 2, 3])
+            with pytest.raises(OverloadError):
+                engine.submit_items(1, [0])
+            engine.drain(timeout=10.0)
+            # The queue drained: the budget admits again.
+            ticket = engine.submit_items(1, [0, 1])
+            engine.drain(timeout=10.0)
+            assert ticket.scores.shape == (2,)
+
+    def test_rejected_submit_creates_no_ticket_and_no_seq(self):
+        with ServingEngine(make_model(), max_queue_rows=3, **PARKED) as engine:
+            engine.submit_items(0, [0, 1, 2])
+            with pytest.raises(OverloadError):
+                engine.submit_items(1, [3])
+            # drain() must not wait for the rejected submit.
+            engine.drain(timeout=10.0)
+            stats = engine.stats()
+            assert stats["engine"]["submitted"] == 1
+            assert stats["engine"]["served"] == 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ServingEngine(make_model(), max_queue_rows=0)
+        with pytest.raises(ValueError):
+            ServingEngine(make_model(), max_queue_age_ms=0.0)
+
+    def test_sync_batcher_depth_budget(self):
+        front = RequestBatcher(make_model(), max_queue_rows=5)
+        front.submit_items(0, [0, 1, 2])
+        with pytest.raises(OverloadError):
+            front.submit_items(1, [0, 1, 2])
+        assert front.rejected == 1
+        front.flush()
+        assert front.submit_items(1, [0, 1, 2]).scores.shape == (3,)
+        front.release()
+
+
+class TestLoadShedding:
+    def test_aged_requests_shed_with_deadline_exceeded(self):
+        model = make_model()
+        with ServingEngine(model, max_queue_age_ms=40.0, **PARKED) as engine:
+            stale = [engine.submit_items(u, [0, 1]) for u in range(3)]
+            time.sleep(0.08)                     # age past the 40ms budget
+            fresh = engine.submit_items(3, [0, 1])
+            engine.drain(timeout=10.0)
+            for ticket in stale:
+                assert ticket.ready and ticket.failed
+                assert isinstance(ticket.error, DeadlineExceeded)
+                assert ticket.error.age_ms > 40.0
+                with pytest.raises(DeadlineExceeded):
+                    _ = ticket.scores
+            # The fresh co-drained request was planned and scored.
+            assert fresh.scores.shape == (2,)
+            stats = engine.stats()["overload"]
+            assert stats["shed"] == 3
+            assert stats["accepted"] == 4
+
+    def test_shedding_counts_participants_too(self):
+        with ServingEngine(make_model(), max_queue_age_ms=30.0, **PARKED) as engine:
+            t_a = engine.submit_items(0, [0, 1])
+            t_b = engine.submit_participants(0, 1, [2, 3])
+            time.sleep(0.07)
+            engine.drain(timeout=10.0)
+            assert isinstance(t_a.error, DeadlineExceeded)
+            assert isinstance(t_b.error, DeadlineExceeded)
+            assert engine.stats()["overload"]["shed"] == 2
+
+    def test_no_budget_never_sheds(self):
+        with ServingEngine(make_model(), **PARKED) as engine:
+            ticket = engine.submit_items(0, [0, 1])
+            time.sleep(0.05)
+            engine.drain(timeout=10.0)
+            assert ticket.scores.shape == (2,)
+            assert engine.stats()["overload"]["shed"] == 0
+
+
+class TestTicketTimeout:
+    def test_wait_timeout_raises_ticket_timeout_and_ticket_stays_live(self):
+        with ServingEngine(make_model(), **PARKED) as engine:
+            ticket = engine.submit_items(0, [0, 1])
+            with pytest.raises(TicketTimeout):
+                ticket.wait(timeout=0.05)
+            assert not ticket.ready          # unresolved, not consumed
+            engine.drain(timeout=10.0)
+            assert ticket.scores.shape == (2,)  # later resolution still works
+
+    def test_ticket_timeout_is_a_timeout_error(self):
+        """Legacy ``except TimeoutError`` call-sites must keep working."""
+        with ServingEngine(make_model(), **PARKED) as engine:
+            ticket = engine.submit_items(0, [0])
+            with pytest.raises(TimeoutError):
+                ticket.wait(timeout=0.05)
+            engine.drain(timeout=10.0)
+
+
+class TestEngineStopped:
+    def test_submit_after_stop_raises_engine_stopped(self):
+        engine = ServingEngine(make_model()).start()
+        engine.stop()
+        with pytest.raises(EngineStopped):
+            engine.submit_items(0, [0])
+        with pytest.raises(EngineStopped):
+            engine.submit_participants(0, 1, [2])
+
+    def test_stop_without_drain_fails_pending_tickets(self):
+        engine = ServingEngine(make_model(), **PARKED)
+        engine.start()
+        tickets = [engine.submit_items(u, [0, 1]) for u in range(3)]
+        engine.stop(drain=False)
+        for ticket in tickets:
+            assert ticket.ready and ticket.failed
+            assert isinstance(ticket.error, EngineStopped)
+            with pytest.raises(EngineStopped):
+                _ = ticket.scores
+        assert engine.stats()["overload"]["aborted"] == 3
+
+    def test_stop_with_drain_still_scores(self):
+        engine = ServingEngine(make_model(), **PARKED)
+        engine.start()
+        ticket = engine.submit_items(0, [0, 1, 2])
+        engine.stop()
+        assert ticket.scores.shape == (3,)
+        assert engine.stats()["overload"]["aborted"] == 0
+
+    def test_no_waiter_left_hanging_after_abort(self):
+        """A thread blocked in wait() resolves the moment stop() aborts."""
+        engine = ServingEngine(make_model(), **PARKED)
+        engine.start()
+        ticket = engine.submit_items(0, [0, 1])
+        seen = {}
+
+        def waiter():
+            try:
+                ticket.wait(timeout=30.0)
+            except ServingError as exc:
+                seen["error"] = exc
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.02)
+        engine.stop(drain=False)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert isinstance(seen["error"], EngineStopped)
+
+
+class TestDegradation:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(watermark_rows=0, top_k=5)
+        with pytest.raises(ValueError):
+            DegradationPolicy(watermark_rows=8, trigger_flushes=0, top_k=5)
+        with pytest.raises(ValueError):
+            DegradationPolicy(watermark_rows=8, top_k=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(watermark_rows=8)  # nothing to degrade to
+
+    def test_fallback_catalog_mismatch_rejected_at_construction(self):
+        policy = DegradationPolicy(
+            watermark_rows=8,
+            fallback_model=GBMF(N_USERS + 1, N_ITEMS, dim=DIM, seed=1),
+        )
+        with pytest.raises(ValueError, match="n_users"):
+            ServingEngine(make_model(), degradation=policy)
+
+    def test_fallback_must_not_be_the_primary(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="different model"):
+            ServingEngine(
+                model,
+                degradation=DegradationPolicy(watermark_rows=8, fallback_model=model),
+            )
+
+    def test_topk_truncation_pads_tail_with_neg_inf(self):
+        policy = DegradationPolicy(watermark_rows=1, trigger_flushes=1, top_k=2)
+        model = make_model()
+        with ServingEngine(model, degradation=policy, **PARKED) as engine:
+            ticket = engine.submit_items(0, [0, 1, 2, 3, 4])
+            engine.drain(timeout=10.0)
+            scores = ticket.scores
+            assert ticket.degraded
+            assert scores.shape == (5,)           # aligned with the request
+            assert np.all(np.isfinite(scores[:2]))
+            assert np.all(np.isneginf(scores[2:]))  # unscored tail ranks last
+            assert engine.stats()["overload"]["degraded"] == 1
+        # The scored head matches full-fidelity scoring of those candidates.
+        reference = RequestBatcher(make_model()).score_items(0, [0, 1])
+        np.testing.assert_array_equal(scores[:2], reference)
+
+    def test_trigger_streak_and_recovery(self):
+        policy = DegradationPolicy(watermark_rows=4, trigger_flushes=2, top_k=1)
+        with ServingEngine(make_model(), degradation=policy, **PARKED) as engine:
+            # Flush 1: deep (streak 1) — not degraded yet.
+            first = engine.submit_items(0, [0, 1, 2, 3])
+            engine.drain(timeout=10.0)
+            assert not first.degraded
+            # Flush 2: deep again (streak 2) — degradation engages.
+            second = engine.submit_items(1, [0, 1, 2, 3])
+            engine.drain(timeout=10.0)
+            assert second.degraded
+            assert engine.stats()["overload"]["degraded_active"]
+            # Flush 3: shallow — instant recovery.
+            third = engine.submit_items(2, [0])
+            engine.drain(timeout=10.0)
+            assert not third.degraded
+            stats = engine.stats()["overload"]
+            assert not stats["degraded_active"]
+            assert stats["pressure_streak"] == 0
+            assert stats["degraded"] == 1
+
+    def test_fallback_model_routing(self):
+        fallback = make_model(seed=9)
+        policy = DegradationPolicy(
+            watermark_rows=1, trigger_flushes=1, fallback_model=fallback
+        )
+        with ServingEngine(make_model(), degradation=policy, **PARKED) as engine:
+            ticket = engine.submit_items(3, [0, 1, 2])
+            engine.drain(timeout=10.0)
+            scores = ticket.scores
+            assert ticket.degraded
+            stats = engine.stats()
+            assert stats["overload"]["degraded"] == 1
+            assert stats["fallback"]["flushes"] == 1
+        # Degraded scores are the fallback's, bit-identical.
+        reference = RequestBatcher(make_model(seed=9)).score_items(3, [0, 1, 2])
+        np.testing.assert_array_equal(scores, reference)
+
+    def test_undegraded_flushes_stay_on_primary(self):
+        fallback = make_model(seed=9)
+        policy = DegradationPolicy(
+            watermark_rows=10**6, fallback_model=fallback
+        )
+        with ServingEngine(make_model(), degradation=policy, **PARKED) as engine:
+            ticket = engine.submit_items(3, [0, 1, 2])
+            engine.drain(timeout=10.0)
+            scores = ticket.scores
+            assert engine.stats()["fallback"]["flushes"] == 0
+        reference = RequestBatcher(make_model()).score_items(3, [0, 1, 2])
+        np.testing.assert_array_equal(scores, reference)
+
+
+class TestMultiWorkerEngine:
+    def test_construction_validation(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="at least one"):
+            MultiWorkerEngine([])
+        with pytest.raises(ValueError, match="distinct objects"):
+            MultiWorkerEngine([model, model])
+        with pytest.raises(ValueError, match="catalog"):
+            MultiWorkerEngine([model, GBMF(N_USERS + 1, N_ITEMS, dim=DIM, seed=0)])
+        with pytest.raises(ValueError, match="fallback"):
+            MultiWorkerEngine(
+                [make_model(), make_model()],
+                degradation=DegradationPolicy(
+                    watermark_rows=8, fallback_model=make_model(seed=1)
+                ),
+            )
+        shared_fallback = make_model(seed=1)
+        with pytest.raises(ValueError, match="fallback"):
+            MultiWorkerEngine(
+                [make_model(), make_model()],
+                degradation=[
+                    DegradationPolicy(watermark_rows=8, fallback_model=shared_fallback),
+                    DegradationPolicy(watermark_rows=8, fallback_model=shared_fallback),
+                ],
+            )
+        with pytest.raises(ValueError, match="policies"):
+            MultiWorkerEngine(
+                [make_model(), make_model()],
+                degradation=[DegradationPolicy(watermark_rows=8, top_k=2)],
+            )
+
+    def test_user_partitioning_is_stable(self):
+        replicas = [make_model() for _ in range(3)]
+        engine = MultiWorkerEngine(replicas)
+        assert engine.n_workers == 3
+        for user in range(12):
+            assert engine.worker_of(user) == user % 3
+
+    def test_requests_land_on_their_users_worker(self):
+        replicas = [make_model() for _ in range(2)]
+        with MultiWorkerEngine(replicas, **PARKED) as engine:
+            engine.submit_items(0, [0, 1])        # worker 0
+            engine.submit_items(1, [0, 1, 2])     # worker 1
+            engine.submit_participants(3, 0, [1])  # initiator 3 -> worker 1
+            engine.drain(timeout=10.0)
+            stats = engine.stats()
+        per_worker = [w["overload"]["accepted"] for w in stats["workers"]]
+        assert per_worker == [1, 2]
+        assert stats["aggregate"]["accepted"] == 3
+
+    def test_four_workers_bit_identical_to_single_engine(self):
+        """Acceptance gate: 4-worker float64 scores == single-engine scores."""
+        rng = np.random.default_rng(5)
+        requests_a = [
+            (int(rng.integers(N_USERS)), rng.integers(N_ITEMS, size=7).tolist())
+            for _ in range(40)
+        ]
+        requests_b = [
+            (
+                int(rng.integers(N_USERS)),
+                int(rng.integers(N_ITEMS)),
+                rng.integers(N_USERS, size=5).tolist(),
+            )
+            for _ in range(20)
+        ]
+        multi = MultiWorkerEngine([make_model() for _ in range(4)], max_delay_ms=1.0)
+        with multi:
+            multi_a = [multi.submit_items(u, c) for u, c in requests_a]
+            multi_b = [multi.submit_participants(u, i, c) for u, i, c in requests_b]
+            multi.drain(timeout=30.0)
+        single = ServingEngine(make_model(), **PARKED)
+        with single:
+            single_a = [single.submit_items(u, c) for u, c in requests_a]
+            single_b = [single.submit_participants(u, i, c) for u, i, c in requests_b]
+            single.drain(timeout=30.0)
+        for m, s in zip(multi_a, single_a):
+            np.testing.assert_array_equal(m.scores, s.scores)
+        for m, s in zip(multi_b, single_b):
+            np.testing.assert_array_equal(m.scores, s.scores)
+
+    def test_mgbr_bit_identical_per_partition(self, tiny_dataset, small_config):
+        """MGBR parity holds per user partition (same batch composition).
+
+        Unlike GBMF's per-pair reductions, MGBR's planned stack runs
+        BLAS matmuls whose blocking varies with batch shape, so bitwise
+        equality requires comparing against a single engine that
+        flushes each worker's partition as its own batch.
+        """
+        from repro.core import MGBR
+
+        def mk():
+            return MGBR(
+                tiny_dataset.train,
+                tiny_dataset.n_users,
+                tiny_dataset.n_items,
+                config=small_config,
+            )
+
+        rng = np.random.default_rng(11)
+        reqs = [
+            (
+                int(rng.integers(tiny_dataset.n_users)),
+                rng.integers(tiny_dataset.n_items, size=5).tolist(),
+            )
+            for _ in range(12)
+        ]
+        multi = MultiWorkerEngine([mk() for _ in range(3)], **PARKED)
+        with multi:  # parked clock: each partition co-batches in one flush
+            tickets = [multi.submit_items(u, c) for u, c in reqs]
+            multi.drain(timeout=30.0)
+        reference = {}
+        with ServingEngine(mk(), **PARKED) as single:
+            for worker in range(3):
+                batch = [
+                    (idx, single.submit_items(u, c))
+                    for idx, (u, c) in enumerate(reqs)
+                    if u % 3 == worker
+                ]
+                single.drain(timeout=30.0)
+                for idx, ticket in batch:
+                    reference[idx] = ticket.scores
+        for idx, ticket in enumerate(tickets):
+            np.testing.assert_array_equal(ticket.scores, reference[idx])
+
+    def test_overload_error_propagates_from_worker(self):
+        replicas = [make_model() for _ in range(2)]
+        with MultiWorkerEngine(replicas, max_queue_rows=4, **PARKED) as engine:
+            engine.submit_items(0, [0, 1, 2, 3])      # fills worker 0's budget
+            with pytest.raises(OverloadError):
+                engine.submit_items(2, [0])           # same worker: rejected
+            # Worker 1 has its own budget and still admits.
+            ticket = engine.submit_items(1, [0, 1])
+            engine.drain(timeout=10.0)
+            assert ticket.scores.shape == (2,)
+            assert engine.stats()["aggregate"]["rejected"] == 1
+
+    def test_stop_without_drain_aborts_all_workers(self):
+        engine = MultiWorkerEngine([make_model() for _ in range(2)], **PARKED)
+        engine.start()
+        tickets = [engine.submit_items(u, [0, 1]) for u in range(4)]
+        engine.stop(drain=False)
+        assert all(isinstance(t.error, EngineStopped) for t in tickets)
+        assert engine.stats()["aggregate"]["aborted"] == 4
+        with pytest.raises(EngineStopped):
+            engine.submit_items(0, [0])
+
+    def test_refresh_swaps_weights_on_all_workers_without_dropping(self):
+        replicas = [make_model() for _ in range(2)]
+        fresh = make_model(seed=7)
+        with MultiWorkerEngine(replicas, max_delay_ms=2.0) as engine:
+            before = [
+                engine.score_items(u, [0, 1, 2], timeout=10.0) for u in (0, 1)
+            ]
+            state = fresh.state_dict()
+            for model in engine.models:
+                model.load_state_dict(state)
+            engine.refresh()
+            after = [
+                engine.score_items(u, [0, 1, 2], timeout=10.0) for u in (0, 1)
+            ]
+            stats = engine.stats()
+        for b, a in zip(before, after):
+            assert not np.allclose(b, a)
+        reference = RequestBatcher(make_model(seed=7))
+        for u, a in zip((0, 1), after):
+            np.testing.assert_allclose(a, reference.score_items(u, [0, 1, 2]))
+        # No ticket was rejected, shed or aborted across the swap.
+        agg = stats["aggregate"]
+        assert agg["accepted"] == 4
+        assert agg["rejected"] == agg["shed"] == agg["aborted"] == 0
+
+    def test_stats_serializable_and_conserving(self):
+        import json
+
+        with MultiWorkerEngine([make_model() for _ in range(2)], **PARKED) as engine:
+            for u in range(6):
+                engine.submit_items(u, [0, 1, 2])
+            engine.drain(timeout=10.0)
+            stats = engine.stats()
+        json.dumps(stats)
+        assert stats["n_workers"] == 2
+        assert stats["aggregate"]["accepted"] == 6
+        assert stats["aggregate"]["served"] == 6
+
+
+class TestOverloadConservation:
+    def test_every_submit_resolves_or_rejects_under_pressure(self):
+        """Concurrent submitters vs tight budgets: nothing is stranded."""
+        model = make_model()
+        engine = ServingEngine(
+            model,
+            max_delay_ms=1.0,
+            max_pending=64,
+            max_queue_rows=48,
+            max_queue_age_ms=20.0,
+        )
+        tickets, rejected = [], [0]
+        lock = threading.Lock()
+
+        def submitter(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(40):
+                user = int(rng.integers(N_USERS))
+                cands = rng.integers(N_ITEMS, size=6).tolist()
+                try:
+                    ticket = engine.submit_items(user, cands)
+                except OverloadError:
+                    with lock:
+                        rejected[0] += 1
+                else:
+                    with lock:
+                        tickets.append(ticket)
+
+        with engine:
+            threads = [threading.Thread(target=submitter, args=(s,)) for s in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            engine.drain(timeout=30.0)
+            stats = engine.stats()["overload"]
+
+        assert all(t.ready for t in tickets), "stranded tickets"
+        scored = sum(1 for t in tickets if not t.failed)
+        shed = sum(1 for t in tickets if isinstance(t.error, DeadlineExceeded))
+        assert scored + shed == len(tickets)  # only typed outcomes
+        assert stats["accepted"] == len(tickets) == 160 - rejected[0]
+        assert stats["rejected"] == rejected[0]
+        assert stats["shed"] == shed
+        assert stats["aborted"] == 0
