@@ -28,6 +28,8 @@ the JSON artifact (for quick local verification).  Environment knobs:
 
 * ``REPRO_BENCH_EVAL_USERS / ITEMS / GROUPS`` — dataset scale
 * ``REPRO_BENCH_EVAL_INSTANCES`` — instances per task per protocol
+* ``REPRO_BENCH_EVAL_FUSED_CHUNK / FUSED_PAIRS`` — fused-executor cell:
+  scoring chunk size and number of interleaved tape/fused timing pairs
 """
 
 from __future__ import annotations
@@ -44,12 +46,15 @@ from repro.core import MGBR, MGBRConfig
 from repro.data import NegativeSampler, SyntheticConfig, generate_dataset
 from repro.data.samples import extract_task_a, extract_task_b
 from repro.eval import EvalProtocol
+from repro.nn import no_grad
 from repro.plan import ScoringPlan
 
 USERS = int(os.environ.get("REPRO_BENCH_EVAL_USERS", "300"))
 ITEMS = int(os.environ.get("REPRO_BENCH_EVAL_ITEMS", "80"))
 GROUPS = int(os.environ.get("REPRO_BENCH_EVAL_GROUPS", "1200"))
 INSTANCES = int(os.environ.get("REPRO_BENCH_EVAL_INSTANCES", "120"))
+FUSED_CHUNK = int(os.environ.get("REPRO_BENCH_EVAL_FUSED_CHUNK", "512"))
+FUSED_PAIRS = int(os.environ.get("REPRO_BENCH_EVAL_FUSED_PAIRS", "11"))
 DATA_SEED = 7
 MODEL_SEED = 1
 
@@ -179,6 +184,81 @@ def _bench_model(name: str, model, dataset) -> dict:
     return out
 
 
+def _bench_fused(model, dataset) -> dict:
+    """Fused no-tape executor vs the tape on 1:99 planned scoring.
+
+    A single tape-vs-fused time comparison is unreliable on a shared
+    box, so each repetition interleaves one full tape pass with one full
+    fused pass (chunked planned scoring over both tasks' 1:99 lists,
+    plan slicing excluded from the timed region) and the headline
+    ``fused_speedup`` is the **median of per-repetition ratios** —
+    co-tenant noise lands on both sides of each pair roughly equally.
+    """
+    protocol = EvalProtocol(
+        dataset, n_negatives=99, cutoff=100, max_instances=INSTANCES
+    )
+    task_a, task_b = protocol._candidate_lists()
+    plan_a = ScoringPlan.for_items(task_a["users"], task_a["candidates"])
+    plan_b = ScoringPlan.for_participants(
+        task_b["users"], task_b["items"], task_b["candidates"]
+    )
+    jobs = []
+    for plan, scorer in (
+        (plan_a, model.score_item_plan),
+        (plan_b, model.score_participant_plan),
+    ):
+        subs = [
+            plan.pair_slice(slice(start, min(start + FUSED_CHUNK, plan.n_pairs)))
+            for start in range(0, plan.n_pairs, FUSED_CHUNK)
+        ]
+        jobs.append((scorer, subs))
+
+    def one_pass(executor):
+        model.executor = executor
+        elapsed = 0.0
+        scores = []
+        with no_grad():
+            model.refresh_cache()
+            for scorer, subs in jobs:
+                started = time.perf_counter()
+                chunks = [scorer(sub) for sub in subs]
+                elapsed += time.perf_counter() - started
+                scores.append(np.concatenate(chunks))
+        return scores, elapsed
+
+    previous = model.executor
+    try:
+        tape_ref, _ = one_pass("tape")  # warm caches + parity reference
+        fused_ref, _ = one_pass("fused")
+        identical = all(np.array_equal(t, f) for t, f in zip(tape_ref, fused_ref))
+        ratios, tape_times, fused_times = [], [], []
+        for _ in range(FUSED_PAIRS):
+            _, tape_seconds = one_pass("tape")
+            _, fused_seconds = one_pass("fused")
+            ratios.append(tape_seconds / fused_seconds)
+            tape_times.append(tape_seconds)
+            fused_times.append(fused_seconds)
+        stats = model.executor_stats()
+    finally:
+        model.executor = previous
+    n_pairs = plan_a.n_pairs + plan_b.n_pairs
+    tape_best, fused_best = min(tape_times), min(fused_times)
+    return {
+        "chunk": FUSED_CHUNK,
+        "paired_repeats": FUSED_PAIRS,
+        "pairs_scored_per_pass": n_pairs,
+        "tape_seconds": round(tape_best, 4),
+        "fused_seconds": round(fused_best, 4),
+        "tape_pairs_per_sec": round(n_pairs / tape_best, 1),
+        "fused_pairs_per_sec": round(n_pairs / fused_best, 1),
+        "fused_speedup": round(float(np.median(ratios)), 2),
+        "fused_speedup_min": round(float(min(ratios)), 2),
+        "fused_speedup_max": round(float(max(ratios)), 2),
+        "scores_identical_to_tape": identical,
+        "executor_stats": stats,
+    }
+
+
 def run_benchmark() -> dict:
     """Measure both engines on the 1:9 and 1:99 protocols."""
     dataset = _dataset()
@@ -198,6 +278,8 @@ def run_benchmark() -> dict:
             "MGBR": _bench_model("MGBR", mgbr, dataset),
             "GBMF": _bench_model("GBMF", gbmf, dataset),
         },
+        # Fused no-tape executor vs the tape on the MGBR 1:99 lists.
+        "fused_executor": _bench_fused(mgbr, dataset),
     }
 
 
@@ -222,6 +304,16 @@ def test_eval_throughput():
     assert mgbr_199["dedup_speedup"] >= 2.0, (
         f"1:99 planned-vs-batched {mgbr_199['dedup_speedup']}x < 2x"
     )
+    # The fused no-tape executor must be bit-identical to the tape and
+    # beat it by ≥1.5× (median of interleaved paired repeats) on the
+    # MGBR 1:99 planned-scoring cell.
+    fused = report["fused_executor"]
+    assert fused["scores_identical_to_tape"], (
+        "fused executor scores diverged from the tape"
+    )
+    assert fused["fused_speedup"] >= 1.5, (
+        f"fused-vs-tape median speedup {fused['fused_speedup']}x < 1.5x"
+    )
 
 
 if __name__ == "__main__":
@@ -235,6 +327,7 @@ if __name__ == "__main__":
     args = parser.parse_args()
     if args.smoke:
         USERS, ITEMS, GROUPS, INSTANCES, REPEATS = 120, 40, 400, 40, 1
+        FUSED_PAIRS = 2
     result = run_benchmark()
     if not args.smoke:
         OUTPUT.write_text(json.dumps(result, indent=2) + "\n")

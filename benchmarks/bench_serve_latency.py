@@ -41,11 +41,23 @@ contract, not raw speed:
   rate runs, because anything older is shed before planning;
 * the drop rate (rejected + shed) absorbs the offered excess.
 
+**Fused-scaling cells** measure the 1/2/4-worker scored/sec curve with
+the fused no-tape executor (``fused_scaling`` in the report).  Unlike
+the overload cells — whose budgets assume each extra worker brings a
+fresh core — this probe keeps the *single-worker* queue depth per
+worker and scales the age budget with fleet size, so a bigger fleet
+converts its deeper aggregate queue into bigger per-flush co-batches
+(higher Zipf dedup, fewer flush cycles per scored request).  That is
+the mechanism that lets scored/sec rise with fleet size even on hosts
+with fewer cores than workers; the curve must be strictly increasing.
+
 Writes ``BENCH_serve_latency.json`` at the repository root.  Run
 directly (``PYTHONPATH=src python benchmarks/bench_serve_latency.py``);
 ``--smoke`` runs a seconds-scale configuration (one steady cell per
-store + one overload cell) and skips the artifact.  Environment knobs:
-``REPRO_BENCH_SERVE_USERS / ITEMS / DIM / CANDIDATES / SLACK_MS``.
+store + one overload cell + a two-point fused-scaling probe) and skips
+the artifact.  Environment knobs:
+``REPRO_BENCH_SERVE_USERS / ITEMS / DIM / CANDIDATES / SLACK_MS /
+SCALING_TRIALS``.
 """
 
 from __future__ import annotations
@@ -91,6 +103,11 @@ OVERLOAD_DEADLINE_MS = 5.0           # flush deadline == age budget
 #: per-request scoring cost dominates and a Python submitter thread can
 #: genuinely offer several times the engine's capacity.
 OVERLOAD_CANDIDATES = 10 * CANDIDATES
+
+#: Flood repetitions per fleet size in the fused-scaling probe (median
+#: reported; trials interleave across fleet sizes so host noise lands
+#: on every curve point evenly).
+SCALING_TRIALS = int(os.environ.get("REPRO_BENCH_SERVE_SCALING_TRIALS", "5"))
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve_latency.json"
 
@@ -333,6 +350,109 @@ def run_overload_cell(n_workers: int, capacity_rps: float, deadline_ms: float,
     }
 
 
+def _scaling_flood(n_workers: int, rows_per_worker: int,
+                   probe_seconds: float, rng: np.random.Generator) -> dict:
+    """One fused flood against an ``n_workers`` fleet → scored/sec."""
+    pool_users, pool_candidates = make_requests(
+        rng, 1024, width=OVERLOAD_CANDIDATES
+    )
+    models = [build_model("dense") for _ in range(n_workers)]
+    engine = MultiWorkerEngine(
+        models,
+        max_delay_ms=OVERLOAD_DEADLINE_MS,
+        max_pending=8192,
+        max_queue_rows=rows_per_worker,
+        # A fleet's aggregate queue is n× deeper and on a shared host
+        # each worker's flush slot comes around n× less often — the age
+        # budget must cover one fleet-wide drain cycle, not one worker's.
+        max_queue_age_ms=OVERLOAD_DEADLINE_MS * n_workers,
+        executor="fused",
+    )
+    tickets = []
+    with engine:
+        t0 = time.perf_counter()
+        t_end = t0 + probe_seconds
+        k = 0
+        while time.perf_counter() < t_end:
+            i = k % 1024
+            try:
+                tickets.append(
+                    engine.submit_items(int(pool_users[i]), pool_candidates[i])
+                )
+            except OverloadError:
+                time.sleep(0.0002)  # queue full: yield to the workers
+            k += 1
+        engine.drain(timeout=120.0)
+        elapsed = time.perf_counter() - t0
+        agg = engine.stats()["aggregate"]
+    assert all(t.ready for t in tickets), "stranded tickets in scaling probe"
+    assert agg["fused_calls"] > 0 and agg["tape_calls"] == 0, (
+        "scaling probe did not run on the fused executor"
+    )
+    scored = sum(1 for t in tickets if not t.failed)
+    return {
+        "scored_per_sec": scored / elapsed,
+        "dedup_ratio": agg["flat_rows"] / max(agg["unique_pairs"], 1),
+        "flushes": agg["flushes"],
+    }
+
+
+def measure_fused_scaling(workers=OVERLOAD_WORKERS, probe_seconds: float = 1.2,
+                          trials: int = 0) -> dict:
+    """Scored/sec of fused 1/2/4-worker fleets — the scaling curve.
+
+    The overload cells size budgets for core-per-worker scaling; this
+    probe instead measures *fleet batching capacity*: every worker keeps
+    the single-worker queue depth (the PR-6 row budget at ``n=1``) and
+    the age budget grows with fleet size, so bigger fleets hold more
+    rows in flight and flush bigger co-batches — higher Zipf dedup and
+    fewer flush cycles per scored request.  ``trials`` floods run per
+    fleet size, interleaved round-robin, and each curve point is the
+    median.
+    """
+    trials = trials or SCALING_TRIALS
+    rng = np.random.default_rng(SEED + 7)
+    rough = measure_capacity(1, OVERLOAD_DEADLINE_MS, rng)
+    rows_per_worker = overload_budget_rows(rough, 1, OVERLOAD_DEADLINE_MS)
+    samples = {n: [] for n in workers}
+    for trial in range(trials):
+        for n_workers in workers:
+            probe_rng = np.random.default_rng(SEED + 11 + 31 * trial + n_workers)
+            samples[n_workers].append(
+                _scaling_flood(n_workers, rows_per_worker, probe_seconds, probe_rng)
+            )
+    curve = []
+    for n_workers in workers:
+        rates = [s["scored_per_sec"] for s in samples[n_workers]]
+        curve.append({
+            "n_workers": n_workers,
+            "scored_per_sec": round(float(np.median(rates)), 1),
+            "scored_per_sec_trials": [round(r, 1) for r in rates],
+            "dedup_ratio": round(
+                float(np.median([s["dedup_ratio"] for s in samples[n_workers]])), 3
+            ),
+            "age_budget_ms": OVERLOAD_DEADLINE_MS * n_workers,
+        })
+    rates = [point["scored_per_sec"] for point in curve]
+    out = {
+        "executor": "fused",
+        "deadline_ms": OVERLOAD_DEADLINE_MS,
+        "rows_per_worker": rows_per_worker,
+        "trials": trials,
+        "probe_seconds": probe_seconds,
+        "curve": curve,
+        "strictly_increasing": all(b > a for a, b in zip(rates, rates[1:])),
+    }
+    if len(rates) >= 2:
+        out["slope_per_worker"] = round(
+            (rates[-1] - rates[0]) / (curve[-1]["n_workers"] - curve[0]["n_workers"]), 1
+        )
+        out["step_ratios"] = [
+            round(b / a, 3) for a, b in zip(rates, rates[1:])
+        ]
+    return out
+
+
 def run_overload_cells(workers=OVERLOAD_WORKERS, n_requests: int = 0) -> list:
     cells = []
     for n_workers in workers:
@@ -418,6 +538,15 @@ def check_report(report: dict) -> None:
                 f"{label}: drop_frac {cell['drop_frac']} < {floor:.3f} "
                 f"at {mult}x capacity — overload was not absorbed"
             )
+    scaling = report.get("fused_scaling")
+    if scaling:
+        rates = [point["scored_per_sec"] for point in scaling["curve"]]
+        workers = [point["n_workers"] for point in scaling["curve"]]
+        for (wa, a), (wb, b) in zip(zip(workers, rates), zip(workers[1:], rates[1:])):
+            assert b > a, (
+                f"fused scaling curve not strictly increasing: "
+                f"{wa} workers → {a}/s but {wb} workers → {b}/s"
+            )
 
 
 if __name__ == "__main__":
@@ -440,9 +569,13 @@ if __name__ == "__main__":
             rates=(500.0,), deadlines=(5.0,), n_requests=250
         )
         result["overload_cells"] = run_overload_cells(workers=(2,))
+        result["fused_scaling"] = measure_fused_scaling(
+            workers=(1, 2), probe_seconds=0.5, trials=2
+        )
     else:
         result = run_benchmark()
         result["overload_cells"] = run_overload_cells()
+        result["fused_scaling"] = measure_fused_scaling()
     add_overload_config(result)
     check_report(result)
     if not args.smoke:

@@ -18,6 +18,7 @@ from typing import List
 
 import numpy as np
 
+from repro.nn.backend import get_backend
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, stack
@@ -97,20 +98,7 @@ class ExpertBank(Module):
         into that expert's weight blocks, so cached values can never be
         stale and cached nodes are never shared between graphs.
         """
-        versions = tuple(expert.weight.version for expert in self._experts)
-        entry = self._bank_fold_cache.get(blocks)
-        if entry is None or entry[0] != versions:
-            folds = []
-            for expert in self._experts:
-                folded = np.ascontiguousarray(
-                    expert.weight.data[blocks[0][0] : blocks[0][1]]
-                )
-                for start, stop in blocks[1:]:
-                    folded = folded + expert.weight.data[start:stop]
-                folds.append(folded)
-            entry = (versions, np.concatenate(folds, axis=1))
-            self._bank_fold_cache[blocks] = entry
-
+        stacked = self.stacked_folds_raw(blocks)
         weights = [expert.weight for expert in self._experts]
         d = self.out_dim
 
@@ -124,4 +112,28 @@ class ExpertBank(Module):
                     grad[start:stop] += g_k
                 weight._accumulate(grad)
 
-        return Tensor._make(entry[1], tuple(weights), backward)
+        return Tensor._make(stacked, tuple(weights), backward)
+
+    def stacked_folds_raw(self, blocks) -> np.ndarray:
+        """The cached ``(width, K·d)`` stacked fold as a raw array.
+
+        Shares the version-keyed cache with :meth:`_stacked_folds`; the
+        fused no-tape executor reads the bank fold through this accessor
+        so both executors multiply the identical cached array (needed
+        for float64 bit-parity).  Callers must not mutate the result.
+        """
+        versions = tuple(expert.weight.version for expert in self._experts)
+        entry = self._bank_fold_cache.get(blocks)
+        if entry is None or entry[0] != versions:
+            backend = get_backend()
+            folds = []
+            for expert in self._experts:
+                folded = backend.ensure_contiguous(
+                    expert.weight.data[blocks[0][0] : blocks[0][1]]
+                )
+                for start, stop in blocks[1:]:
+                    folded = folded + expert.weight.data[start:stop]
+                folds.append(folded)
+            entry = (versions, np.concatenate(folds, axis=1))
+            self._bank_fold_cache[blocks] = entry
+        return entry[1]

@@ -1,0 +1,324 @@
+"""Fused no-tape execution of MGBR's planned scoring forward.
+
+:func:`fused_planned_scores` re-runs the exact primitive sequence of
+``MultiTaskModule.forward_planned`` → ``MTLLayer.forward_planned_first``
+→ dense ``MTLLayer.forward`` → gate attention → ``PredictionHead``, but
+through a :class:`repro.executor.FusedWorkspace`: raw backend calls into
+preallocated buffers, no Tensor graph nodes.  Under ``no_grad`` the tape
+versions of these ops allocate a node + closure per primitive purely to
+be discarded; eliding them is where the fused speedup comes from (the
+BLAS work is identical).
+
+Every helper here is an *op-for-op mirror* of one tape module — same
+primitive, same operand arrays (fold weights come through the shared
+version-keyed ``folded_blocks_raw`` / ``stacked_folds_raw`` caches),
+same association order — which is what makes the float64 output
+bit-identical to the tape (asserted in tests/test_fused_executor.py).
+When editing the tape modules, update the matching mirror here; the
+parity tests catch any drift.
+
+Returns ``None`` (caller falls back to the tape) for model
+configurations the mirror does not cover: subclassed MTL stacks/layers
+or prediction heads with a non-ReLU activation or live dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mtl import MTLLayer, MultiTaskModule
+from repro.core.prediction import PredictionHead
+from repro.executor import FusedWorkspace
+from repro.nn import functional as F
+from repro.nn.layers import MLP
+from repro.nn.tensor import get_default_dtype
+
+__all__ = ["fused_planned_scores"]
+
+
+def _blocks_key(blocks):
+    """The hashable fold-cache key ``check_blocks`` would produce."""
+    return tuple((int(start), int(stop)) for start, stop in blocks)
+
+
+def _head_supported(head) -> bool:
+    """Whether the fused head mirror covers this prediction head."""
+    if type(head) is not PredictionHead or type(head.mlp) is not MLP:
+        return False
+    mlp = head.mlp
+    if mlp.activation is not F.relu:
+        return False
+    if mlp.drop is not None and mlp.drop.training:
+        return False
+    return True
+
+
+def _proj_linear(ws: FusedWorkspace, linear, x: np.ndarray, key) -> np.ndarray:
+    """Mirror of ``Linear.project_blocks``: ``x @ folded_blocks``.
+
+    ``key`` is the precomputed :func:`_blocks_key` (callers hoist it out
+    of the per-projection hot path).
+    """
+    fold = ws.cast(linear.folded_blocks_raw(key))
+    return ws.matmul(x, fold)
+
+
+def _proj_bank(ws: FusedWorkspace, bank, x: np.ndarray, key) -> np.ndarray:
+    """Mirror of ``ExpertBank.project_blocks`` → ``(rows, K, d)``."""
+    fold = ws.cast(bank.stacked_folds_raw(key))
+    out = ws.matmul(x, fold)
+    return ws.reshape(out, (x.shape[0], bank.n_experts, bank.out_dim))
+
+
+def _attend(ws: FusedWorkspace, attention, bank: np.ndarray, logits: np.ndarray) -> np.ndarray:
+    """Mirror of ``GateAttention.forward`` with precomputed logits."""
+    weights = ws.softmax(logits) if attention.softmax else logits
+    return ws.mix(weights, bank)
+
+
+def _pair_logits(ws, adjusted, e_u, e_i, e_p, user_pos, item_pos, part_pos):
+    """Mirror of ``AdjustedGate.pair_logits`` → ``(l_ui, l_ip, l_up)``."""
+    v = e_u.shape[-1]
+    lo, hi = ((0, v),), ((v, 2 * v),)
+
+    def head_logits(head, x_a, pos_a, x_b, pos_b):
+        t = ws.take(_proj_linear(ws, head.proj, x_a, lo), pos_a)
+        return ws.add(t, ws.take(_proj_linear(ws, head.proj, x_b, hi), pos_b))
+
+    l_ui = head_logits(adjusted.head_ui, e_u, user_pos, e_i, item_pos)
+    l_ip = head_logits(adjusted.head_ip, e_i, item_pos, e_p, part_pos)
+    l_up = head_logits(adjusted.head_up, e_u, user_pos, e_p, part_pos)
+    return l_ui, l_ip, l_up
+
+
+def _task_gate(ws, gate, state, own_bank, shared_bank, adj_logits, generic_logits,
+               generic_bank=None):
+    """Mirror of ``TaskGate.forward`` (planned and dense variants).
+
+    ``generic_bank`` short-circuits the ``[own | shared]`` concatenation
+    when the caller already holds the banks contiguously in that order
+    (a slice view of the dense layers' combined bank buffer) — the view
+    carries the identical values the concat would copy.
+    """
+    if generic_bank is None:
+        if gate.shared:
+            generic_bank = ws.concat([own_bank, shared_bank], axis=1)
+        else:
+            generic_bank = own_bank
+    attention = gate.generic.attention
+    if generic_logits is None:
+        generic_logits = ws.matmul(state, attention.proj.weight.data)
+    out = _attend(ws, attention, generic_bank, generic_logits)
+    if gate.adjusted is not None:
+        other = shared_bank if gate.shared else own_bank
+        if gate.own_is_ui:
+            banks = (own_bank, other, other)
+        else:
+            banks = (other, own_bank, own_bank)
+        l_ui, l_ip, l_up = adj_logits
+        adjusted = gate.adjusted
+        term = _attend(ws, adjusted.head_ui, banks[0], l_ui)
+        term = ws.add(term, _attend(ws, adjusted.head_ip, banks[1], l_ip))
+        adj = ws.add(term, _attend(ws, adjusted.head_up, banks[2], l_up))
+        out = ws.add(out, ws.multiply(adj, ws.scalar(gate.alpha)))
+    return out
+
+
+def _shared_gate(ws, gate, state, bank_a, bank_s, bank_b, logits, bank=None):
+    """Mirror of ``SharedGate.forward`` (``bank`` = precomputed concat)."""
+    attention = gate.attention
+    if bank is None:
+        bank = ws.concat([bank_a, bank_s, bank_b], axis=1)
+    if logits is None:
+        logits = ws.matmul(state, attention.proj.weight.data)
+    return _attend(ws, attention, bank, logits)
+
+
+def _first_layer(ws, layer, e_u, e_i, e_p, user_pos, item_pos, part_pos, adj):
+    """Mirror of ``MTLLayer.forward_planned_first``.
+
+    Like :func:`_dense_layer`, the shared case lands the three banks in
+    one combined ``[a | s | b]`` buffer (the per-pair chain's final add
+    writes straight into each bank's slice) so gate A's and the shared
+    gate's bank concatenations are zero-copy views.
+    """
+    if layer.compact_input:
+        folds_task, folds_shared = 1, 1
+    elif layer.shared:
+        folds_task, folds_shared = 2, 3
+    else:
+        folds_task, folds_shared = 1, 0
+    v = e_u.shape[-1]
+    keys_task = [_blocks_key(layer._entity_blocks(v, j, folds_task)) for j in range(3)]
+
+    def per_pair(project, keys, out=None):
+        t = ws.take(project(e_u, keys[0]), user_pos)
+        t = ws.add(t, ws.take(project(e_i, keys[1]), item_pos))
+        tp = ws.take(project(e_p, keys[2]), part_pos)
+        if out is None:
+            return ws.add(t, tp)
+        # Same add, landed in the caller's combined-buffer slice.
+        return ws.b.add(t, tp, out=out)
+
+    def bank_proj(bank):
+        return lambda x, key: _proj_bank(ws, bank, x, key)
+
+    def gate_proj(attention):
+        return lambda x, key: _proj_linear(ws, attention.proj, x, key)
+
+    logits_a = per_pair(gate_proj(layer.gate_a.generic.attention), keys_task)
+    logits_b = per_pair(gate_proj(layer.gate_b.generic.attention), keys_task)
+    la, lb = adj
+    if layer.shared:
+        keys_shared = [
+            _blocks_key(layer._entity_blocks(v, j, folds_shared)) for j in range(3)
+        ]
+        logits_s = per_pair(gate_proj(layer.gate_s.attention), keys_shared)
+        ea, es, eb = layer.experts_a, layer.experts_s, layer.experts_b
+        ka, ks, kb = ea.n_experts, es.n_experts, eb.n_experts
+        cat = ws.out((user_pos.shape[0], ka + ks + kb, ea.out_dim))
+        bank_a = per_pair(bank_proj(ea), keys_task, out=cat[:, :ka])
+        bank_s = per_pair(bank_proj(es), keys_shared, out=cat[:, ka:ka + ks])
+        bank_b = per_pair(bank_proj(eb), keys_task, out=cat[:, ka + ks:])
+        new_a = _task_gate(ws, layer.gate_a, None, bank_a, bank_s, la, logits_a,
+                           generic_bank=cat[:, :ka + ks])
+        new_b = _task_gate(ws, layer.gate_b, None, bank_b, bank_s, lb, logits_b)
+        new_s = _shared_gate(ws, layer.gate_s, None, bank_a, bank_s, bank_b, logits_s,
+                             bank=cat)
+        return new_a, new_s, new_b
+    bank_a = per_pair(bank_proj(layer.experts_a), keys_task)
+    bank_b = per_pair(bank_proj(layer.experts_b), keys_task)
+    new_a = _task_gate(ws, layer.gate_a, None, bank_a, None, la, logits_a)
+    new_b = _task_gate(ws, layer.gate_b, None, bank_b, None, lb, logits_b)
+    return new_a, None, new_b
+
+
+def _dense_bank(ws, bank, state: np.ndarray) -> np.ndarray:
+    """Mirror of ``ExpertBank.forward``: per-expert matmuls, stacked.
+
+    Deliberately *not* one stacked GEMM — BLAS re-association would
+    break bit parity with the tape's per-expert loop.  The per-expert
+    products do land directly in the stacked buffer's slices, which is
+    parity-safe (stack is a pure copy).
+    """
+    return ws.matmul_stack(state, [expert.weight.data for expert in bank._experts])
+
+
+def _dense_layer(ws, layer, g_a, g_s, g_b, adj):
+    """Mirror of the dense ``MTLLayer.forward`` (later planned layers).
+
+    The three expert banks are written into one combined ``[a | s | b]``
+    buffer so that gate A's generic bank (``[a | s]``) and the shared
+    gate's bank (``[a | s | b]``) are zero-copy slice views; only gate
+    B's ``[b | s]`` order still needs a concatenation.  Values are
+    identical to the per-bank concats — the layout only removes copies.
+    """
+    la, lb = adj
+    if layer.shared:
+        if layer.compact_input:
+            state_a, state_b, state_s = g_a, g_b, g_s
+        else:
+            # ``[g_a | g_s]`` is a prefix view of ``[g_a | g_s | g_b]`` —
+            # one concat serves both states (GEMMs handle the row
+            # stride natively, so the view costs nothing).
+            state_s = ws.concat([g_a, g_s, g_b], axis=1)
+            state_a = state_s[:, : g_a.shape[1] + g_s.shape[1]]
+            state_b = ws.concat([g_b, g_s], axis=1)
+        ea, es, eb = layer.experts_a, layer.experts_s, layer.experts_b
+        dt = ws.dtype
+        fast = (
+            state_a.dtype == dt and state_b.dtype == dt and state_s.dtype == dt
+            and all(
+                x.weight.data.dtype == dt
+                for bank in (ea, es, eb) for x in bank._experts
+            )
+        )
+        if fast:
+            ka, ks, kb = ea.n_experts, es.n_experts, eb.n_experts
+            cat = ws.out((state_a.shape[0], ka + ks + kb, ea.out_dim))
+            bank_a = ws.matmul_stack(
+                state_a, [x.weight.data for x in ea._experts], out=cat[:, :ka]
+            )
+            bank_s = ws.matmul_stack(
+                state_s, [x.weight.data for x in es._experts], out=cat[:, ka:ka + ks]
+            )
+            bank_b = ws.matmul_stack(
+                state_b, [x.weight.data for x in eb._experts], out=cat[:, ka + ks:]
+            )
+            gen_a, gen_s = cat[:, :ka + ks], cat
+        else:
+            bank_a = _dense_bank(ws, ea, state_a)
+            bank_b = _dense_bank(ws, eb, state_b)
+            bank_s = _dense_bank(ws, es, state_s)
+            gen_a = gen_s = None
+        new_a = _task_gate(ws, layer.gate_a, state_a, bank_a, bank_s, la, None,
+                           generic_bank=gen_a)
+        new_b = _task_gate(ws, layer.gate_b, state_b, bank_b, bank_s, lb, None)
+        new_s = _shared_gate(ws, layer.gate_s, state_s, bank_a, bank_s, bank_b, None,
+                             bank=gen_s)
+        return new_a, new_s, new_b
+    bank_a = _dense_bank(ws, layer.experts_a, g_a)
+    bank_b = _dense_bank(ws, layer.experts_b, g_b)
+    new_a = _task_gate(ws, layer.gate_a, g_a, bank_a, None, la, None)
+    new_b = _task_gate(ws, layer.gate_b, g_b, bank_b, None, lb, None)
+    return new_a, None, new_b
+
+
+def _head(ws, head, g: np.ndarray) -> np.ndarray:
+    """Mirror of ``PredictionHead.forward`` (ReLU MLP, dropout inert)."""
+    mlp = head.mlp
+    x = g
+    last = len(mlp._linears) - 1
+    for i, layer in enumerate(mlp._linears):
+        x = ws.matmul(x, layer.weight.data)
+        if layer.bias is not None:
+            x = ws.add(x, layer.bias.data)
+        if i != last:
+            x = ws.relu(x)
+    return ws.reshape(x, (x.shape[0],))
+
+
+def fused_planned_scores(model, emb, plan, task: str) -> Optional[np.ndarray]:
+    """Fused unique-request logits for ``plan``, or ``None`` to fall back.
+
+    ``task`` is ``"items"`` (head A) or ``"participants"`` (head B).
+    The result lives in workspace buffers — callers must copy before the
+    next flush (the public plan scorers do).  Entity gathers go through
+    :meth:`repro.core.model.MGBR._planned_entities`, so store statistics,
+    LRU caching and plan-cached shard maps behave identically to the
+    tape path.
+    """
+    head = model.head_a if task == "items" else model.head_b
+    mtl = model.mtl
+    if (
+        not _head_supported(head)
+        or type(mtl) is not MultiTaskModule
+        or any(type(layer) is not MTLLayer for layer in mtl._layers)
+    ):
+        return None
+    ws = model._fused_workspace()
+    ws.begin(get_default_dtype())
+
+    e_u_t, e_i_t, e_p_t, part_pos = model._planned_entities(emb, plan)
+    e_u, e_i, e_p = e_u_t.data, e_i_t.data, e_p_t.data
+    user_pos, item_pos = plan.user_pos, plan.item_pos
+
+    # Adjusted-gate logits for every layer first — forward_planned's order.
+    adj_logits = []
+    for layer in mtl._layers:
+        adj_logits.append(
+            tuple(
+                _pair_logits(ws, gate.adjusted, e_u, e_i, e_p, user_pos, item_pos, part_pos)
+                if gate.adjusted is not None
+                else None
+                for gate in (layer.gate_a, layer.gate_b)
+            )
+        )
+    g_a, g_s, g_b = _first_layer(
+        ws, mtl._layers[0], e_u, e_i, e_p, user_pos, item_pos, part_pos, adj_logits[0]
+    )
+    for layer, logits in zip(mtl._layers[1:], adj_logits[1:]):
+        g_a, g_s, g_b = _dense_layer(ws, layer, g_a, g_s, g_b, logits)
+    return _head(ws, head, g_a if task == "items" else g_b)

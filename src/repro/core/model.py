@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender, bundle_rows
 from repro.core.config import MGBRConfig
+from repro.core.fused import fused_planned_scores
 from repro.core.mtl import MultiTaskModule
 from repro.core.prediction import PredictionHead
 from repro.core.views import HINEmbedding, MultiViewEmbedding
@@ -155,12 +156,12 @@ class MGBR(GroupBuyingRecommender):
     # ------------------------------------------------------------------
     # Planned (deduplicated + factorized) scoring
     # ------------------------------------------------------------------
-    def _planned_towers(self, emb: EmbeddingBundle, plan: ScoringPlan):
-        """Run the factorized stack over a plan → ``(g^L_A, g^L_B)``.
+    def _planned_entities(self, emb: EmbeddingBundle, plan: ScoringPlan):
+        """Gather a plan's unique-entity rows → ``(e_u, e_i, e_p, part_pos)``.
 
-        Layer-0 partial projections are computed once per unique user /
-        item / participant (:meth:`repro.core.mtl.MultiTaskModule
-        .forward_planned`).  The participant slot handles all three plan
+        Shared by the tape and fused executors, so store statistics, the
+        hot-row LRU and the plan's cached shard maps behave identically
+        on both paths.  The participant slot handles all three plan
         shapes:
 
         * pair plans (no participant column): Task A's averaged
@@ -172,10 +173,6 @@ class MGBR(GroupBuyingRecommender):
           pair requests and auxiliary corruption triples together): the
           sentinel sorts last in ``unique_participants``, so its row is
           substituted with the mean-participant embedding.
-
-        Built entirely from autograd ops — called with a live training
-        ``emb`` the towers back-propagate through the gathers and
-        partial projections into the encoder.
         """
         e_u = bundle_rows(emb.user, plan.unique_users, plan=plan, role="users")
         e_i = bundle_rows(emb.item, plan.unique_items, plan=plan, role="items")
@@ -200,9 +197,40 @@ class MGBR(GroupBuyingRecommender):
                 e_p = bundle_rows(
                     emb.participant, uniq_p, plan=plan, role="participants"
                 )
+        return e_u, e_i, e_p, part_pos
+
+    def _planned_towers(self, emb: EmbeddingBundle, plan: ScoringPlan):
+        """Run the factorized stack over a plan → ``(g^L_A, g^L_B)``.
+
+        Layer-0 partial projections are computed once per unique user /
+        item / participant (:meth:`repro.core.mtl.MultiTaskModule
+        .forward_planned`).
+
+        Built entirely from autograd ops — called with a live training
+        ``emb`` the towers back-propagate through the gathers and
+        partial projections into the encoder.
+        """
+        e_u, e_i, e_p, part_pos = self._planned_entities(emb, plan)
         return self.mtl.forward_planned(
             e_u, e_i, e_p, plan.user_pos, plan.item_pos, part_pos
         )
+
+    def _fused_score_plan(self, emb: EmbeddingBundle, plan: ScoringPlan, task: str):
+        """Fused no-tape planned logits, or ``None`` to use the tape.
+
+        Only taken when the planned hooks are un-overridden — a subclass
+        customising ``_planned_towers`` or a score hook would otherwise
+        silently diverge from what the fused mirror computes.
+        """
+        base = MGBR
+        if type(self)._planned_towers is not base._planned_towers:
+            return None
+        if type(self)._planned_entities is not base._planned_entities:
+            return None
+        hook = "_score_item_plan" if task == "items" else "_score_participant_plan"
+        if getattr(type(self), hook) is not getattr(base, hook):
+            return None
+        return fused_planned_scores(self, emb, plan, task)
 
     def _score_item_plan(self, emb: EmbeddingBundle, plan: ScoringPlan) -> Tensor:
         """Task-A raw logits for a plan's unique requests (factorized)."""

@@ -8,6 +8,15 @@ gradient checker that the tests use to validate every adjoint.
 """
 
 from repro.nn import functional
+from repro.nn.backend import (
+    ArrayBackend,
+    CountingBackend,
+    NumpyBackend,
+    available_backends,
+    backend_scope,
+    get_backend,
+    register_backend,
+)
 from repro.nn.gradcheck import gradcheck, numerical_gradient
 from repro.nn.layers import MLP, Dropout, Embedding, Identity, Linear, Sequential
 from repro.nn.module import Module, Parameter
@@ -22,6 +31,8 @@ from repro.nn.tensor import (
     no_grad,
     is_grad_enabled,
     ones,
+    scatter_cache_stats,
+    clear_scatter_cache,
     scatter_rows_sum,
     set_default_dtype,
     stack,
@@ -45,6 +56,15 @@ __all__ = [
     "set_default_dtype",
     "dtype_scope",
     "inference_mode",
+    "ArrayBackend",
+    "NumpyBackend",
+    "CountingBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_scope",
+    "scatter_cache_stats",
+    "clear_scatter_cache",
     "Module",
     "Parameter",
     "Linear",

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.backend import get_backend
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -45,11 +46,17 @@ def sigmoid(x: Tensor) -> Tensor:
 
 
 def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
-    """Stable sigmoid: never exponentiates a positive argument."""
-    out = np.empty_like(z, dtype=np.float64)
+    """Stable sigmoid: never exponentiates a positive argument.
+
+    Accumulates in float64 regardless of the input dtype (the caller's
+    Tensor wrapper casts back to the scoped dtype), so float32 scoring
+    rounds once rather than per branch.
+    """
+    b = get_backend()
+    out = b.empty_like(z, dtype=np.float64)
     pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
+    out[pos] = 1.0 / (1.0 + b.exp(-z[pos]))
+    ez = b.exp(z[~pos])
     out[~pos] = ez / (1.0 + ez)
     return out
 
@@ -71,7 +78,8 @@ def logsigmoid(x: Tensor) -> Tensor:
 
 def _stable_softplus(z: np.ndarray) -> np.ndarray:
     """Stable ``log(1+e^z) = max(z,0) + log1p(e^{-|z|})``."""
-    return np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+    b = get_backend()
+    return b.maximum(z, 0.0) + b.log1p(b.exp(-b.absolute(z)))
 
 
 def softplus(x: Tensor) -> Tensor:
@@ -87,13 +95,14 @@ def softplus(x: Tensor) -> Tensor:
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit ``max(x, 0)``."""
-    mask = x.data > 0
+    b = get_backend()
+    mask = b.greater(x.data, 0)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(g * mask)
+            x._accumulate(get_backend().multiply(g, mask))
 
-    return Tensor._make(x.data * mask, (x,), backward)
+    return Tensor._make(b.multiply(x.data, mask), (x,), backward)
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
@@ -110,7 +119,7 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
 
 def tanh(x: Tensor) -> Tensor:
     """Elementwise hyperbolic tangent."""
-    value = np.tanh(x.data)
+    value = get_backend().tanh(x.data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -125,9 +134,10 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     Gate attention weights over expert banks are softmax-normalised so
     each gate output is a convex combination of expert outputs.
     """
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    ez = np.exp(shifted)
-    value = ez / ez.sum(axis=axis, keepdims=True)
+    b = get_backend()
+    shifted = x.data - b.amax(x.data, axis=axis, keepdims=True)
+    ez = b.exp(shifted)
+    value = ez / b.sum(ez, axis=axis, keepdims=True)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
@@ -139,10 +149,11 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis`` (used by the ListNet-style option)."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    b = get_backend()
+    shifted = x.data - b.amax(x.data, axis=axis, keepdims=True)
+    log_z = b.log(b.sum(b.exp(shifted), axis=axis, keepdims=True))
     value = shifted - log_z
-    soft = np.exp(value)
+    soft = b.exp(value)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:

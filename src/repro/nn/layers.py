@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init as inits
+from repro.nn.backend import get_backend
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike, as_rng
@@ -138,13 +139,7 @@ class Linear(Module):
         threads without such serialization is out of contract.
         """
         weight = self.weight
-        entry = self._fold_cache.get(blocks)
-        if entry is None or entry[0] != weight.version:
-            folded = np.ascontiguousarray(weight.data[blocks[0][0] : blocks[0][1]])
-            for start, stop in blocks[1:]:
-                folded = folded + weight.data[start:stop]
-            entry = (weight.version, folded)
-            self._fold_cache[blocks] = entry
+        folded = self.folded_blocks_raw(blocks)
 
         def backward(g: np.ndarray) -> None:
             if not weight.requires_grad:
@@ -154,7 +149,28 @@ class Linear(Module):
                 grad[start:stop] += g
             weight._accumulate(grad)
 
-        return Tensor._make(entry[1], (weight,), backward)
+        return Tensor._make(folded, (weight,), backward)
+
+    def folded_blocks_raw(self, blocks: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+        """The cached fold values as a raw array (no graph node).
+
+        Shares the version-keyed cache with :meth:`folded_blocks`; the
+        fused no-tape executor reads folds through this accessor so both
+        executors see the identical cached array (a prerequisite for the
+        float64 bit-parity guarantee).  Callers must not mutate the
+        returned array.
+        """
+        weight = self.weight
+        entry = self._fold_cache.get(blocks)
+        if entry is None or entry[0] != weight.version:
+            folded = get_backend().ensure_contiguous(
+                weight.data[blocks[0][0] : blocks[0][1]]
+            )
+            for start, stop in blocks[1:]:
+                folded = folded + weight.data[start:stop]
+            entry = (weight.version, folded)
+            self._fold_cache[blocks] = entry
+        return entry[1]
 
     def project_blocks(self, x: Tensor, blocks: Sequence[Sequence[int]]) -> Tensor:
         """Apply the *sum* of weight-row blocks to ``x`` — a partial map.

@@ -52,15 +52,27 @@ memory bandwidth on the hot ``spmm``/matmul paths:
 Gradients always accumulate in the owning tensor's dtype, so training at
 the ``float64`` default is bit-for-bit unaffected by the policy's
 existence.
+
+Array backends
+--------------
+Every array primitive (arithmetic, matmuls, transcendentals, reductions,
+gathers/scatters) is executed through the thread-local
+:class:`repro.nn.backend.ArrayBackend` — the tape itself only knows
+about graph plumbing (parents, closures, :func:`_unbroadcast`).  NumPy
+is the reference backend; see :mod:`repro.nn.backend` for the contract
+and the instrumented counting backend used by the copy-audit tests.
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
+from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.nn import backend as _backend
 
 __all__ = [
     "Tensor",
@@ -77,7 +89,13 @@ __all__ = [
     "stack",
     "take_rows",
     "scatter_rows_sum",
+    "scatter_cache_stats",
+    "clear_scatter_cache",
 ]
+
+# Thread-local backend holder (shared with repro.nn.backend); ops read
+# ``_B_STATE.backend`` directly to keep the hot path to one attribute load.
+_B_STATE = _backend._STATE
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -172,6 +190,70 @@ def no_grad():
         _STATE.grad_enabled = previous
 
 
+# ----------------------------------------------------------------------
+# CSR one-hot scatter-matrix cache
+# ----------------------------------------------------------------------
+# The planned training path back-propagates through the *same* scatter
+# maps (``plan.user_pos`` / ``item_pos`` / ``part_pos`` and the per-shard
+# inverses) roughly a dozen times per step, and the maps themselves are
+# long-lived plan attributes.  The CSR operator depends only on the
+# index array, its length, the row count and the accumulate dtype, so —
+# like ``Linear.folded_blocks``'s version key — we key on the identity
+# of the index array and revalidate with ``is`` before reuse (the cache
+# holds a strong reference, so an id can never be silently recycled).
+# Index arrays must not be mutated in place; plan arrays never are.
+_SCATTER_CACHE_CAPACITY = 64
+_SCATTER_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_SCATTER_CACHE_LOCK = threading.Lock()
+_SCATTER_CACHE_COUNTS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def scatter_cache_stats() -> dict:
+    """Snapshot of the CSR scatter-matrix cache counters (+ current size)."""
+    with _SCATTER_CACHE_LOCK:
+        snap = dict(_SCATTER_CACHE_COUNTS)
+        snap["size"] = len(_SCATTER_CACHE)
+        return snap
+
+
+def clear_scatter_cache() -> None:
+    """Drop all cached CSR scatter operators and zero the counters."""
+    with _SCATTER_CACHE_LOCK:
+        _SCATTER_CACHE.clear()
+        for key in _SCATTER_CACHE_COUNTS:
+            _SCATTER_CACHE_COUNTS[key] = 0
+
+
+def _cached_one_hot(index: np.ndarray, n_rows: int, dtype: np.dtype):
+    """The CSR one-hot operator for ``index``, built once per plan/shape."""
+    key = (id(index), index.size, n_rows, dtype.str)
+    with _SCATTER_CACHE_LOCK:
+        entry = _SCATTER_CACHE.get(key)
+        if entry is not None and entry[0] is index:
+            _SCATTER_CACHE.move_to_end(key)
+            _SCATTER_CACHE_COUNTS["hits"] += 1
+            return entry[1]
+    import scipy.sparse as sp  # deferred: keep the numpy-only core lazy
+
+    order = np.argsort(index, kind="stable")
+    counts = np.bincount(index, minlength=n_rows)
+    indptr = np.empty(n_rows + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    one_hot = sp.csr_matrix(
+        (np.ones(index.size, dtype=dtype), order, indptr),
+        shape=(n_rows, index.size),
+    )
+    with _SCATTER_CACHE_LOCK:
+        _SCATTER_CACHE_COUNTS["misses"] += 1
+        _SCATTER_CACHE[key] = (index, one_hot)
+        _SCATTER_CACHE.move_to_end(key)
+        while len(_SCATTER_CACHE) > _SCATTER_CACHE_CAPACITY:
+            _SCATTER_CACHE.popitem(last=False)
+            _SCATTER_CACHE_COUNTS["evictions"] += 1
+    return one_hot
+
+
 def _scatter_rows_add(
     index: np.ndarray,
     grad: np.ndarray,
@@ -192,31 +274,24 @@ def _scatter_rows_add(
     ``(unique_requests, K·d)`` gradient scatters the planned training
     path back-propagates every step.
     """
+    b = _B_STATE.backend
     out_shape = (n_rows,) + grad.shape[1:]
     if index.size == 0:
-        return np.zeros(out_shape, dtype=dtype)
+        return b.zeros(out_shape, dtype=dtype)
     if index.size < 512 or index.min() < 0:
         # Tiny scatters are not worth building a sparse operator for;
         # negative indices alias positive rows, which only add.at's
         # sequential loop resolves.
-        out = np.zeros(out_shape, dtype=dtype)
-        np.add.at(out, index, grad)
+        out = b.zeros(out_shape, dtype=dtype)
+        b.add_at(out, index, grad)
         return out
-    import scipy.sparse as sp  # deferred: keep the numpy-only core lazy
-
-    order = np.argsort(index, kind="stable")
-    counts = np.bincount(index, minlength=n_rows)
-    indptr = np.empty(n_rows + 1, dtype=np.int64)
-    indptr[0] = 0
-    np.cumsum(counts, out=indptr[1:])
-    one_hot = sp.csr_matrix(
-        (np.ones(index.size, dtype=dtype), order, indptr),
-        shape=(n_rows, index.size),
-    )
+    one_hot = _cached_one_hot(index, n_rows, np.dtype(dtype))
     # Cast before multiplying: add.at accumulates each element in the
     # output's dtype, so summing in a narrower grad dtype first would
-    # round differently.
-    flat = np.ascontiguousarray(grad, dtype=dtype).reshape(index.size, -1)
+    # round differently.  ``ensure_contiguous`` elides the copy when the
+    # gradient already arrives contiguous in the accumulate dtype (the
+    # common case the copy-audit tests pin down).
+    flat = b.ensure_contiguous(grad, dtype).reshape(index.size, -1)
     return np.asarray(one_hot @ flat).reshape(out_shape)
 
 
@@ -228,15 +303,16 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """
     if grad.shape == shape:
         return grad
+    b = _B_STATE.backend
     # Sum away prepended axes.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = b.sum(grad, axis=tuple(range(extra)))
     # Sum over axes that were stretched from 1.
     axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+        grad = b.sum(grad, axis=axes, keepdims=True)
+    return b.reshape(grad, shape)
 
 
 class Tensor:
@@ -267,7 +343,9 @@ class Tensor:
         if isinstance(data, Tensor):  # pragma: no cover - defensive
             data = data.data
         state = _STATE
-        arr = np.asarray(data, dtype=dtype if dtype is not None else state.default_dtype)
+        arr = _B_STATE.backend.asarray(
+            data, dtype=dtype if dtype is not None else state.default_dtype
+        )
         self.data = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and state.grad_enabled
@@ -324,9 +402,10 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into this tensor's gradient buffer."""
+        b = _B_STATE.backend
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            self.grad = b.zeros_like(self.data)
+        b.add(self.grad, grad, out=self.grad)
 
     def zero_grad(self) -> None:
         """Clear the gradient buffer (used by optimizers between steps)."""
@@ -344,13 +423,14 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        b = _B_STATE.backend
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be supplied for non-scalar backward()")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            grad = b.ones(self.data.shape, dtype=self.data.dtype)
+        grad = b.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).copy()
+            grad = b.broadcast_to(grad, self.data.shape).copy()
 
         order: List[Tensor] = []
         seen = set()
@@ -396,16 +476,16 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(g, other.data.shape))
 
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        return Tensor._make(_B_STATE.backend.add(self.data, other.data), (self, other), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-g)
+                self._accumulate(_B_STATE.backend.negative(g))
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(_B_STATE.backend.negative(self.data), (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-_as_tensor(other))
@@ -417,12 +497,15 @@ class Tensor:
         other = _as_tensor(other)
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if self.requires_grad:
-                self._accumulate(_unbroadcast(g * other.data, self.data.shape))
+                self._accumulate(_unbroadcast(b.multiply(g, other.data), self.data.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(g * self.data, other.data.shape))
+                other._accumulate(_unbroadcast(b.multiply(g, self.data), other.data.shape))
 
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        return Tensor._make(
+            _B_STATE.backend.multiply(self.data, other.data), (self, other), backward
+        )
 
     __rmul__ = __mul__
 
@@ -430,14 +513,23 @@ class Tensor:
         other = _as_tensor(other)
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if self.requires_grad:
-                self._accumulate(_unbroadcast(g / other.data, self.data.shape))
+                self._accumulate(_unbroadcast(b.divide(g, other.data), self.data.shape))
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-g * self.data / (other.data**2), other.data.shape)
+                    _unbroadcast(
+                        b.divide(
+                            b.multiply(b.negative(g), self.data),
+                            b.power(other.data, 2),
+                        ),
+                        other.data.shape,
+                    )
                 )
 
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        return Tensor._make(
+            _B_STATE.backend.divide(self.data, other.data), (self, other), backward
+        )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return _as_tensor(other) / self
@@ -447,47 +539,55 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if self.requires_grad:
-                self._accumulate(g * exponent * self.data ** (exponent - 1))
+                self._accumulate(
+                    b.multiply(b.multiply(g, exponent), b.power(self.data, exponent - 1))
+                )
 
-        return Tensor._make(self.data**exponent, (self,), backward)
+        return Tensor._make(_B_STATE.backend.power(self.data, exponent), (self,), backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = _as_tensor(other)
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if self.requires_grad:
                 if other.data.ndim == 1:
                     # (..., n) @ (n,) -> (...): outer-product adjoint.
-                    grad_self = np.expand_dims(g, -1) * other.data
+                    grad_self = b.multiply(b.expand_dims(g, -1), other.data)
                 else:
-                    grad_self = g @ np.swapaxes(other.data, -1, -2)
+                    grad_self = b.matmul(g, b.swapaxes(other.data, -1, -2))
                 if self.data.ndim == 1 and grad_self.ndim > 1:
-                    grad_self = grad_self.sum(axis=tuple(range(grad_self.ndim - 1)))
+                    grad_self = b.sum(grad_self, axis=tuple(range(grad_self.ndim - 1)))
                 self._accumulate(_unbroadcast(grad_self, self.data.shape))
             if other.requires_grad:
                 if self.data.ndim == 1:
-                    grad_other = np.expand_dims(self.data, -1) * np.expand_dims(g, -2)
+                    grad_other = b.multiply(b.expand_dims(self.data, -1), b.expand_dims(g, -2))
                 elif other.data.ndim == 1:
-                    grad_other = (np.swapaxes(self.data, -1, -2) @ np.expand_dims(g, -1))[..., 0]
+                    grad_other = b.matmul(
+                        b.swapaxes(self.data, -1, -2), b.expand_dims(g, -1)
+                    )[..., 0]
                     if grad_other.ndim > 1:
-                        grad_other = grad_other.sum(axis=tuple(range(grad_other.ndim - 1)))
+                        grad_other = b.sum(grad_other, axis=tuple(range(grad_other.ndim - 1)))
                 else:
-                    grad_other = np.swapaxes(self.data, -1, -2) @ g
+                    grad_other = b.matmul(b.swapaxes(self.data, -1, -2), g)
                 other._accumulate(_unbroadcast(grad_other, other.data.shape))
 
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+        return Tensor._make(
+            _B_STATE.backend.matmul(self.data, other.data), (self, other), backward
+        )
 
     # ------------------------------------------------------------------
     # Elementwise transcendental functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         """Elementwise exponential."""
-        value = np.exp(self.data)
+        value = _B_STATE.backend.exp(self.data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(g * value)
+                self._accumulate(_B_STATE.backend.multiply(g, value))
 
         return Tensor._make(value, (self,), backward)
 
@@ -496,17 +596,18 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(g / self.data)
+                self._accumulate(_B_STATE.backend.divide(g, self.data))
 
-        return Tensor._make(np.log(self.data), (self,), backward)
+        return Tensor._make(_B_STATE.backend.log(self.data), (self,), backward)
 
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
-        value = np.sqrt(self.data)
+        value = _B_STATE.backend.sqrt(self.data)
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if self.requires_grad:
-                self._accumulate(g * 0.5 / value)
+                self._accumulate(b.divide(b.multiply(g, 0.5), value))
 
         return Tensor._make(value, (self,), backward)
 
@@ -514,10 +615,11 @@ class Tensor:
         """Elementwise absolute value (subgradient 0 at 0)."""
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if self.requires_grad:
-                self._accumulate(g * np.sign(self.data))
+                self._accumulate(b.multiply(g, b.sign(self.data)))
 
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return Tensor._make(_B_STATE.backend.absolute(self.data), (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values to ``[low, high]``; gradient is zero outside."""
@@ -525,9 +627,9 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(g * mask)
+                self._accumulate(_B_STATE.backend.multiply(g, mask))
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+        return Tensor._make(_B_STATE.backend.clip(self.data, low, high), (self,), backward)
 
     # ------------------------------------------------------------------
     # Reductions
@@ -536,6 +638,7 @@ class Tensor:
         """Sum over ``axis`` (all axes when ``None``)."""
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if not self.requires_grad:
                 return
             grad = g
@@ -543,10 +646,12 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 axes = tuple(a % self.data.ndim for a in axes)
                 for a in sorted(axes):
-                    grad = np.expand_dims(grad, a)
-            self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+                    grad = b.expand_dims(grad, a)
+            self._accumulate(b.broadcast_to(grad, self.data.shape).copy())
 
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        return Tensor._make(
+            _B_STATE.backend.sum(self.data, axis=axis, keepdims=keepdims), (self,), backward
+        )
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over ``axis`` (all axes when ``None``)."""
@@ -559,21 +664,26 @@ class Tensor:
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         """Maximum over ``axis``; ties split gradient equally."""
-        value = self.data.max(axis=axis, keepdims=True)
+        value = _B_STATE.backend.amax(self.data, axis=axis, keepdims=True)
 
         def backward(g: np.ndarray) -> None:
+            b = _B_STATE.backend
             if not self.requires_grad:
                 return
             grad = g
             if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
+                grad = b.expand_dims(grad, axis)
             elif axis is None and not keepdims:
-                grad = np.broadcast_to(grad, (1,) * self.data.ndim)
+                grad = b.broadcast_to(grad, (1,) * self.data.ndim)
             mask = self.data == value
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(np.broadcast_to(grad, self.data.shape) * mask / counts)
+            self._accumulate(
+                b.divide(b.multiply(b.broadcast_to(grad, self.data.shape), mask), counts)
+            )
 
-        out_value = value if keepdims or axis is None else np.squeeze(value, axis=axis)
+        out_value = (
+            value if keepdims or axis is None else _B_STATE.backend.squeeze(value, axis=axis)
+        )
         if axis is None and not keepdims:
             out_value = np.asarray(out_value).reshape(())
         return Tensor._make(out_value, (self,), backward)
@@ -588,18 +698,20 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(g.reshape(self.data.shape))
+                self._accumulate(_B_STATE.backend.reshape(g, self.data.shape))
 
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return Tensor._make(_B_STATE.backend.reshape(self.data, shape), (self,), backward)
 
     def transpose(self, axis0: int = -2, axis1: int = -1) -> "Tensor":
         """Swap two axes (defaults transpose the trailing matrix dims)."""
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(np.swapaxes(g, axis0, axis1))
+                self._accumulate(_B_STATE.backend.swapaxes(g, axis0, axis1))
 
-        return Tensor._make(np.swapaxes(self.data, axis0, axis1), (self,), backward)
+        return Tensor._make(
+            _B_STATE.backend.swapaxes(self.data, axis0, axis1), (self,), backward
+        )
 
     def __getitem__(self, key) -> "Tensor":
         """Slice / fancy-index; gradients scatter-add back into place.
@@ -625,8 +737,9 @@ class Tensor:
                     _scatter_rows_add(key, g, self.data.shape[0], self.data.dtype)
                 )
                 return
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, key, g)
+            b = _B_STATE.backend
+            grad = b.zeros_like(self.data)
+            b.add_at(grad, key, g)
             self._accumulate(grad)
 
         return Tensor._make(value, (self,), backward)
@@ -636,7 +749,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def zeros_like(self) -> "Tensor":
         """Constant zero tensor with this tensor's shape."""
-        return Tensor(np.zeros_like(self.data))
+        return Tensor(_B_STATE.backend.zeros_like(self.data))
 
 
 def _as_tensor(value: ArrayLike) -> Tensor:
@@ -661,12 +774,16 @@ def tensor(data: ArrayLike, requires_grad: bool = False, name: str = "") -> Tens
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
     """Tensor of zeros with the given shape."""
-    return Tensor(np.zeros(shape, dtype=_STATE.default_dtype), requires_grad=requires_grad)
+    return Tensor(
+        _B_STATE.backend.zeros(shape, dtype=_STATE.default_dtype), requires_grad=requires_grad
+    )
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
     """Tensor of ones with the given shape."""
-    return Tensor(np.ones(shape, dtype=_STATE.default_dtype), requires_grad=requires_grad)
+    return Tensor(
+        _B_STATE.backend.ones(shape, dtype=_STATE.default_dtype), requires_grad=requires_grad
+    )
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
@@ -679,7 +796,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     tensors = [_as_tensor(t) for t in tensors]
     if not tensors:
         raise ValueError("concat() needs at least one tensor")
-    value = np.concatenate([t.data for t in tensors], axis=axis)
+    value = _B_STATE.backend.concatenate([t.data for t in tensors], axis=axis)
     ax = axis % value.ndim
     sizes = [t.data.shape[ax] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -703,7 +820,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_as_tensor(t) for t in tensors]
     if not tensors:
         raise ValueError("stack() needs at least one tensor")
-    value = np.stack([t.data for t in tensors], axis=axis)
+    value = _B_STATE.backend.stack([t.data for t in tensors], axis=axis)
 
     def backward(g: np.ndarray) -> None:
         slices = np.moveaxis(g, axis, 0)
@@ -723,7 +840,7 @@ def take_rows(source: Tensor, index: ArrayLike) -> Tensor:
     scoring plans hitting the same entity) accumulate correctly.
     """
     idx = np.asarray(index, dtype=np.int64)
-    value = source.data[idx]
+    value = _B_STATE.backend.take(source.data, idx)
 
     def backward(g: np.ndarray) -> None:
         if source.requires_grad:
@@ -745,6 +862,6 @@ def scatter_rows_sum(rows: Tensor, index: ArrayLike, n_rows: int) -> Tensor:
 
     def backward(g: np.ndarray) -> None:
         if rows.requires_grad:
-            rows._accumulate(g[idx])
+            rows._accumulate(_B_STATE.backend.take(g, idx))
 
     return Tensor._make(value, (rows,), backward)

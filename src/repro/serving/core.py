@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.executor import VALID_EXECUTORS
 from repro.nn.tensor import dtype_scope, no_grad
 from repro.plan import ScoringPlan
 from repro.serving.errors import OverloadError, TicketTimeout
@@ -259,17 +260,29 @@ def split_expired(
 class ScoringCore:
     """Validation + flush execution over one model (no queue, no clock)."""
 
-    def __init__(self, model, dtype: str = "float64") -> None:
+    def __init__(self, model, dtype: str = "float64", executor: str = "auto") -> None:
         if dtype not in ("float32", "float64"):
             raise ValueError(f"dtype must be float32|float64, got {dtype!r}")
+        if executor not in VALID_EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {VALID_EXECUTORS}, got {executor!r}"
+            )
         self.model = model
         self.dtype = dtype
+        self.executor = executor
+        if hasattr(model, "executor"):
+            model.executor = executor
         self.stats = {
             "requests": 0,
             "flushes": 0,
             "failed_flushes": 0,
             "flat_rows": 0,
             "unique_pairs": 0,
+            # Per-flush executor accounting: how many planned model calls
+            # ran fused vs on the tape (see docs/backends.md).  Stays
+            # zero for models without the executor knob.
+            "fused_calls": 0,
+            "tape_calls": 0,
         }
 
     # ------------------------------------------------------------------
@@ -338,6 +351,7 @@ class ScoringCore:
             # Serve in eval mode (no dropout etc.), like EvalProtocol.run.
             self.model.eval()
         error: Optional[BaseException] = None
+        before = self._executor_snapshot()
         try:
             with no_grad(), dtype_scope(self.dtype):
                 if items:
@@ -348,6 +362,7 @@ class ScoringCore:
         finally:
             if was_training:
                 self.model.train()
+            self._note_executor_calls(before)
         if error is not None:
             self.stats["failed_flushes"] += 1
             raise error
@@ -388,6 +403,24 @@ class ScoringCore:
             self._fail_tickets([req[-2] for req in requests], exc)
             return exc
         return None
+
+    def _executor_snapshot(self) -> Optional[Dict[str, int]]:
+        """The model's executor counters before a flush (delta baseline)."""
+        snapshot = getattr(self.model, "executor_stats", None)
+        return snapshot() if snapshot is not None else None
+
+    def _note_executor_calls(self, before: Optional[Dict[str, int]]) -> None:
+        """Fold one flush's fused/tape call deltas into ``self.stats``.
+
+        The model's workspace counters are lifetime totals shared with
+        every other caller (eval, direct scoring), so the flush accounts
+        only for its own delta.
+        """
+        if before is None:
+            return
+        after = self.model.executor_stats()
+        for key in ("fused_calls", "tape_calls"):
+            self.stats[key] += after[key] - before[key]
 
     def _fail_tickets(self, tickets: List[PendingScores], exc: BaseException) -> None:
         for ticket in tickets:

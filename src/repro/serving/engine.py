@@ -109,6 +109,10 @@ class ServingEngine:
         sustained queue pressure, truncate candidate lists and/or score
         via a registered fallback model; served tickets carry
         ``degraded=True``.
+    executor: planned-call executor knob (``"auto"``/``"fused"``/
+        ``"tape"``, see ``docs/backends.md``) applied to the model (and
+        the degradation fallback, if any).  ``"auto"`` (default) serves
+        fused unless ``REPRO_EXECUTOR=tape`` overrides it.
 
     Usage::
 
@@ -132,6 +136,7 @@ class ServingEngine:
         max_queue_rows: Optional[int] = None,
         max_queue_age_ms: Optional[float] = None,
         degradation: Optional[DegradationPolicy] = None,
+        executor: str = "auto",
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -141,7 +146,7 @@ class ServingEngine:
             raise ValueError(
                 f"max_queue_age_ms must be > 0, got {max_queue_age_ms}"
             )
-        self._core = ScoringCore(model, dtype)
+        self._core = ScoringCore(model, dtype, executor=executor)
         self.max_pending = max_pending
         self.max_delay_ms = float(max_delay_ms)
         self.max_queue_age_ms = (
@@ -152,7 +157,9 @@ class ServingEngine:
         if degradation is not None:
             degradation.check_compatible(model)
             if degradation.fallback_model is not None:
-                self._fallback_core = ScoringCore(degradation.fallback_model, dtype)
+                self._fallback_core = ScoringCore(
+                    degradation.fallback_model, dtype, executor=executor
+                )
         self._cv = threading.Condition()
         self._queue = RequestQueue(max_rows=max_queue_rows)
         self._seq = 0              # newest submitted request
@@ -183,6 +190,11 @@ class ServingEngine:
     @property
     def dtype(self) -> str:
         return self._core.dtype
+
+    @property
+    def executor(self) -> str:
+        """The executor knob both cores serve with (see docs/backends.md)."""
+        return self._core.executor
 
     @property
     def max_queue_rows(self) -> Optional[int]:
@@ -565,6 +577,7 @@ class ServingEngine:
             engine = {
                 "running": self._running_locked(),
                 "dtype": self._core.dtype,
+                "executor": self._core.executor,
                 "max_pending": self.max_pending,
                 "max_delay_ms": self.max_delay_ms,
                 "pending_rows": dict(self._queue.pending_rows),

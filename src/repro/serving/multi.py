@@ -55,10 +55,11 @@ class MultiWorkerEngine:
     models: one model replica per worker (``n_workers = len(models)``);
         the replicas must be distinct objects with identical catalogs
         (and, for bit-identical scores, identical weights).
-    dtype, max_pending, max_delay_ms, max_queue_rows, max_queue_age_ms:
+    dtype, max_pending, max_delay_ms, max_queue_rows, max_queue_age_ms,
+    executor:
         forwarded to every per-worker
         :class:`repro.serving.engine.ServingEngine` (budgets are per
-        worker).
+        worker; every replica serves with the same executor knob).
     degradation: ``None``, one shared fallback-free
         :class:`repro.serving.degrade.DegradationPolicy`, or a sequence
         of per-worker policies (required when policies carry fallback
@@ -81,6 +82,7 @@ class MultiWorkerEngine:
         max_queue_rows: Optional[int] = None,
         max_queue_age_ms: Optional[float] = None,
         degradation: Union[None, DegradationPolicy, Sequence[Optional[DegradationPolicy]]] = None,
+        executor: str = "auto",
     ) -> None:
         models = list(models)
         if not models:
@@ -109,6 +111,7 @@ class MultiWorkerEngine:
                 max_queue_rows=max_queue_rows,
                 max_queue_age_ms=max_queue_age_ms,
                 degradation=policy,
+                executor=executor,
             )
             for model, policy in zip(models, policies)
         ]
@@ -262,6 +265,7 @@ class MultiWorkerEngine:
             "submitted": 0, "served": 0, "flushes": 0, "pending_rows": 0,
             "accepted": 0, "rejected": 0, "shed": 0, "aborted": 0,
             "degraded": 0, "requests": 0, "flat_rows": 0, "unique_pairs": 0,
+            "fused_calls": 0, "tape_calls": 0,
         }
         for snap in workers:
             engine_stats, overload, batcher = (
@@ -273,7 +277,8 @@ class MultiWorkerEngine:
             aggregate["pending_rows"] += sum(engine_stats["pending_rows"].values())
             for key in ("accepted", "rejected", "shed", "aborted", "degraded"):
                 aggregate[key] += overload[key]
-            for key in ("requests", "flat_rows", "unique_pairs"):
+            for key in ("requests", "flat_rows", "unique_pairs",
+                        "fused_calls", "tape_calls"):
                 aggregate[key] += batcher[key]
         aggregate["degraded_active_workers"] = sum(
             1 for snap in workers if snap["overload"]["degraded_active"]

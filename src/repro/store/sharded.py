@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.backend import get_backend
 from repro.nn.module import Parameter
 from repro.nn.tensor import Tensor, concat, take_rows
 from repro.store.base import EmbeddingStore, Partitioner, ShardMap
@@ -59,9 +60,12 @@ class ShardedStore(EmbeddingStore):
             raise ValueError(f"need a (rows, dim) table, got shape {values.shape}")
         self.num_rows, self.dim = values.shape
         self.partitioner = Partitioner(self.num_rows, n_shards, partition)
+        backend = get_backend()
         self._shards: List[Parameter] = [
             Parameter(
-                np.ascontiguousarray(values[self.partitioner.owned_ids(k)]),
+                # A fancy-index row pull is already fresh and contiguous;
+                # ensure_contiguous only copies range slices that alias.
+                backend.ensure_contiguous(values[self.partitioner.owned_ids(k)]),
                 f"shard{k}",
             )
             for k in range(n_shards)

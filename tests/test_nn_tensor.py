@@ -1,10 +1,18 @@
-"""Unit tests for the autograd core: every adjoint vs finite differences."""
+"""Unit tests for the autograd core: every adjoint vs finite differences.
+
+The whole suite doubles as the **backend conformance suite**: the
+autouse fixture below re-runs every test under each registered
+:class:`repro.nn.ArrayBackend`, so a new backend passes the full adjoint
+battery (values and gradients) before anything else trusts it.
+"""
 
 import numpy as np
 import pytest
 
 from repro.nn import (
     Tensor,
+    available_backends,
+    backend_scope,
     concat,
     gradcheck,
     is_grad_enabled,
@@ -16,6 +24,13 @@ from repro.nn import (
     tensor,
     zeros,
 )
+
+
+@pytest.fixture(autouse=True, params=available_backends())
+def active_backend(request):
+    """Run every autograd test under each registered array backend."""
+    with backend_scope(request.param):
+        yield request.param
 
 
 def _t(rng, *shape):
