@@ -33,11 +33,13 @@ class GBMF(GroupBuyingRecommender):
     n_users / n_items: entity counts.
     dim: latent factor width.
     seed: initialisation seed.
-    n_shards / partition: storage layout of the three tables
-        (:mod:`repro.store`); with ``n_shards >= 2`` the scoring paths
-        gather rows straight from the shard workers and no full table is
-        ever materialised — scores stay bit-identical to dense because
-        gathers copy exact rows.
+    n_shards / partition / service: storage layout of the three tables
+        (:mod:`repro.store`); with ``n_shards >= 2`` (or ``service=True``)
+        the scoring paths gather rows straight from the shard workers and
+        no full table is ever materialised — scores stay bit-identical to
+        dense because gathers copy exact rows.  ``service=True`` moves
+        the shards into worker processes (the cross-process shard
+        service, :class:`repro.store.ProcessShardedStore`).
     """
 
     def __init__(
@@ -48,13 +50,20 @@ class GBMF(GroupBuyingRecommender):
         seed: SeedLike = 0,
         n_shards: int = 0,
         partition: str = "range",
+        service: bool = False,
     ) -> None:
         super().__init__(n_users, n_items)
         rngs = spawn_rngs(seed, 3)
-        self.initiator_table = Embedding(n_users, dim, seed=rngs[0], n_shards=n_shards, partition=partition)
-        self.participant_table = Embedding(n_users, dim, seed=rngs[1], n_shards=n_shards, partition=partition)
-        self.item_table = Embedding(n_items, dim, seed=rngs[2], n_shards=n_shards, partition=partition)
-        self._sharded = n_shards >= 2
+        self.initiator_table = Embedding(
+            n_users, dim, seed=rngs[0], n_shards=n_shards, partition=partition, service=service
+        )
+        self.participant_table = Embedding(
+            n_users, dim, seed=rngs[1], n_shards=n_shards, partition=partition, service=service
+        )
+        self.item_table = Embedding(
+            n_items, dim, seed=rngs[2], n_shards=n_shards, partition=partition, service=service
+        )
+        self._sharded = n_shards >= 2 or service
 
     def compute_embeddings(self) -> EmbeddingBundle:
         """MF has no encoder — the tables are the representations.

@@ -110,6 +110,11 @@ class MGBRConfig:
     #: Row-to-shard assignment: "range" (contiguous blocks) or "hash"
     #: (modulo striping); see :class:`repro.store.Partitioner`.
     embedding_partition: str = "range"
+    #: Move each table's shards into worker *processes*
+    #: (:class:`repro.store.ProcessShardedStore`): rows are owned and
+    #: gathered outside the GIL over shared-memory buffers.  Same
+    #: bit-parity contract as the in-process layouts.
+    embedding_service: bool = False
 
     def __post_init__(self) -> None:
         if self.d <= 0:

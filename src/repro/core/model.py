@@ -69,6 +69,7 @@ class MGBR(GroupBuyingRecommender):
                 gain=self.config.gcn_gain,
                 n_shards=self.config.embedding_shards,
                 partition=self.config.embedding_partition,
+                service=self.config.embedding_service,
             )
         else:
             self.encoder = MultiViewEmbedding.from_groups(
@@ -81,6 +82,7 @@ class MGBR(GroupBuyingRecommender):
                 gain=self.config.gcn_gain,
                 n_shards=self.config.embedding_shards,
                 partition=self.config.embedding_partition,
+                service=self.config.embedding_service,
             )
         self.mtl = MultiTaskModule(self.config, seed=rngs[1])
         self.head_a = PredictionHead(self.config.d, self.config.mlp_hidden, seed=rngs[2])

@@ -50,6 +50,7 @@ class MultiViewEmbedding(Module):
         gain: float = 1.0,
         n_shards: int = 0,
         partition: str = "range",
+        service: bool = False,
     ) -> None:
         super().__init__()
         self.views = views
@@ -58,20 +59,23 @@ class MultiViewEmbedding(Module):
         n_bip = views.n_nodes_bipartite
         # Each GCN binds its fixed view adjacency at construction: the
         # CSR canonicalisation (and spmm's transpose cache) happen once,
-        # not per forward pass.  ``n_shards``/``partition`` choose the
-        # storage layout of each GCN's layer-0 feature table (see
-        # repro.store) without touching the propagation math.
+        # not per forward pass.  ``n_shards``/``partition``/``service``
+        # choose the storage layout of each GCN's layer-0 feature table
+        # (see repro.store) without touching the propagation math.
         self.gcn_ui = GCN(
             n_bip, dim, n_layers, feature_std=feature_std, seed=rng_ui, gain=gain,
             adjacency=views.a_ui, n_shards=n_shards, partition=partition,
+            service=service,
         )
         self.gcn_pi = GCN(
             n_bip, dim, n_layers, feature_std=feature_std, seed=rng_pi, gain=gain,
             adjacency=views.a_pi, n_shards=n_shards, partition=partition,
+            service=service,
         )
         self.gcn_up = GCN(
             views.n_users, dim, n_layers, feature_std=feature_std, seed=rng_up, gain=gain,
             adjacency=views.a_up, n_shards=n_shards, partition=partition,
+            service=service,
         )
 
     def forward(self) -> EmbeddingBundle:
@@ -110,6 +114,7 @@ class MultiViewEmbedding(Module):
         gain: float = 1.0,
         n_shards: int = 0,
         partition: str = "range",
+        service: bool = False,
     ) -> "MultiViewEmbedding":
         """Convenience constructor building the views from deal groups."""
         views = build_views(
@@ -117,7 +122,7 @@ class MultiViewEmbedding(Module):
         )
         return cls(
             views, dim, n_layers, feature_std=feature_std, seed=seed, gain=gain,
-            n_shards=n_shards, partition=partition,
+            n_shards=n_shards, partition=partition, service=service,
         )
 
 
@@ -143,6 +148,7 @@ class HINEmbedding(Module):
         gain: float = 1.0,
         n_shards: int = 0,
         partition: str = "range",
+        service: bool = False,
     ) -> None:
         super().__init__()
         self.n_users = n_users
@@ -151,6 +157,7 @@ class HINEmbedding(Module):
         self.gcn = GCN(
             n_users + n_items, 2 * dim, n_layers, feature_std=feature_std, seed=seed,
             gain=gain, adjacency=self.adjacency, n_shards=n_shards, partition=partition,
+            service=service,
         )
 
     def forward(self) -> EmbeddingBundle:

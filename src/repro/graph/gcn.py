@@ -91,6 +91,7 @@ class GCN(Module):
         adjacency: Optional[sp.spmatrix] = None,
         n_shards: int = 0,
         partition: str = "range",
+        service: bool = False,
     ) -> None:
         super().__init__()
         if n_layers < 1:
@@ -100,12 +101,13 @@ class GCN(Module):
         self.dim = dim
         self.n_layers = n_layers
         self.adjacency = None if adjacency is None else self._check_adjacency(adjacency)
-        # ``n_shards``/``partition`` pick the feature table's storage
-        # layout (repro.store); propagation reads the logical table via
-        # ``features.all()`` either way, so the math is layout-blind.
+        # ``n_shards``/``partition``/``service`` pick the feature table's
+        # storage layout (repro.store); propagation reads the logical
+        # table via ``features.all()`` either way, so the math is
+        # layout-blind.
         self.features = Embedding(
             n_nodes, dim, seed=rng, std=feature_std,
-            n_shards=n_shards, partition=partition,
+            n_shards=n_shards, partition=partition, service=service,
         )
         self._layers: List[GCNLayer] = []
         for layer_idx in range(n_layers):

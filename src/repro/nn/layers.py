@@ -201,10 +201,12 @@ class Embedding(Module):
     ``weight`` parameter (``emb.weight`` / ``emb.all()`` behave exactly
     as before), while ``n_shards >= 2`` partitions the *same* initial
     values across a :class:`repro.store.ShardedStore` whose per-shard
-    parameters register here as ``shard0..shardN-1``.  Checkpoint state
-    is canonical either way — one logical ``weight`` table — so a model
-    saved under any layout restores under any other (see
-    ``Module.state_dict``).
+    parameters register here as ``shard0..shardN-1``.  ``service=True``
+    moves those shards into worker *processes*
+    (:class:`repro.store.ProcessShardedStore`) behind the identical
+    contract.  Checkpoint state is canonical either way — one logical
+    ``weight`` table — so a model saved under any layout restores under
+    any other (see ``Module.state_dict``).
     """
 
     def __init__(
@@ -216,6 +218,7 @@ class Embedding(Module):
         store: Optional["EmbeddingStore"] = None,
         n_shards: int = 0,
         partition: str = "range",
+        service: bool = False,
     ) -> None:
         super().__init__()
         from repro.store import make_store  # deferred: breaks the nn<->store cycle
@@ -232,6 +235,7 @@ class Embedding(Module):
                 inits.normal_((num_embeddings, dim), rng, std=std),
                 n_shards=n_shards,
                 partition=partition,
+                service=service,
             )
         if (store.num_rows, store.dim) != (num_embeddings, dim):
             raise ValueError(

@@ -57,6 +57,17 @@ class SGD(Optimizer):
         if self.momentum and self._velocity is None:
             self._velocity = [np.zeros_like(p.data) for p in self.params]
         for i, p in enumerate(self.params):
+            remote = getattr(p, "remote_sgd_step", None)
+            if remote is not None:
+                # Cross-process shard parameters apply the identical
+                # update inside their worker (grad and velocity live
+                # there); True means a gradient existed and was applied.
+                if remote(
+                    lr=self.lr, momentum=self.momentum, weight_decay=self.weight_decay
+                ):
+                    p.bump_version()
+                    p.touched_rows = None
+                continue
             if p.grad is None:
                 continue
             grad = p.grad
@@ -120,6 +131,24 @@ class Adam(Optimizer):
         bc1 = 1.0 - self.beta1**t
         bc2 = 1.0 - self.beta2**t
         for i, p in enumerate(self.params):
+            remote = getattr(p, "remote_adam_step", None)
+            if remote is not None:
+                # Cross-process shard parameters apply the identical
+                # per-row update inside their worker (grad, moments and
+                # the touched-row record live there); True means a
+                # gradient existed and was applied.
+                if remote(
+                    lr=self.lr,
+                    beta1=self.beta1,
+                    beta2=self.beta2,
+                    eps=self.eps,
+                    weight_decay=self.weight_decay,
+                    t=t,
+                    lazy=self.lazy_rows,
+                ):
+                    p.bump_version()
+                    p.touched_rows = None
+                continue
             if p.grad is None:
                 continue
             rows = getattr(p, "touched_rows", None) if self.lazy_rows else None
@@ -156,13 +185,36 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
 
     Returns the pre-clip norm.  Deep expert/gate stacks occasionally spike
     early in training; clipping keeps the Adam updates well-scaled.
+
+    Cross-process shard parameters contribute their worker-held
+    gradient's square-sum through the duck-typed ``remote_grad_sqsum``
+    hook, *at their position in the parameter order* — floating-point
+    summation order is part of the bit-parity contract with the
+    in-process layouts — and are rescaled in place inside their worker.
     """
-    params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    entries = []
+    total_sq = 0.0
+    for p in params:
+        sqsum = getattr(p, "remote_grad_sqsum", None)
+        if sqsum is not None:
+            term = sqsum()
+            if term is None:
+                continue
+            total_sq += term
+            entries.append((p, True))
+        else:
+            if p.grad is None:
+                continue
+            total_sq += float((p.grad**2).sum())
+            entries.append((p, False))
+    total = float(np.sqrt(total_sq))
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for p in params:
-            p.grad *= scale
+        for p, remote in entries:
+            if remote:
+                p.remote_scale_grad(scale)
+            else:
+                p.grad *= scale
     return total

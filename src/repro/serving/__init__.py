@@ -6,7 +6,7 @@ each caller.  Layers:
 
 * :mod:`repro.serving.errors` — the typed failure hierarchy
   (``ServingError`` → ``OverloadError`` / ``DeadlineExceeded`` /
-  ``EngineStopped`` / ``TicketTimeout``);
+  ``EngineStopped`` / ``TicketTimeout`` / ``ShardUnavailable``);
 * :mod:`repro.serving.core` — the pure queue/plan/scatter core
   (tickets, request queue with admission budget, flush execution with
   failure isolation);
@@ -29,6 +29,7 @@ from repro.serving.errors import (
     EngineStopped,
     OverloadError,
     ServingError,
+    ShardUnavailable,
     TicketTimeout,
 )
 from repro.serving.frontend import RequestBatcher
@@ -47,4 +48,5 @@ __all__ = [
     "DeadlineExceeded",
     "EngineStopped",
     "TicketTimeout",
+    "ShardUnavailable",
 ]

@@ -35,6 +35,14 @@ response — rather than into unbounded waiting:
     ``except TimeoutError`` call-sites keep working — but unlike the
     errors above it says nothing about the *request*: the ticket may
     still resolve later (e.g. once the flush clock fires).
+
+``ShardUnavailable``
+    A :class:`repro.store.service.ProcessShardedStore` shard worker
+    died or missed its RPC deadline while scoring this batch.  The
+    engine resolves the affected task's tickets with it and keeps
+    serving the co-batched tasks (the same per-task fault isolation
+    that contains scoring errors).  Carries the shard id and how long
+    the store waited, for diagnostics.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ __all__ = [
     "DeadlineExceeded",
     "EngineStopped",
     "TicketTimeout",
+    "ShardUnavailable",
 ]
 
 
@@ -85,3 +94,14 @@ class TicketTimeout(ServingError, TimeoutError):
     still owned by the engine and may resolve (with scores or another
     typed error) after this raises.
     """
+
+
+class ShardUnavailable(ServingError):
+    """A cross-process shard worker died or missed its RPC deadline."""
+
+    def __init__(self, message: str, shard: int = -1, elapsed_ms: float = 0.0) -> None:
+        super().__init__(message)
+        #: Index of the shard whose worker failed to answer.
+        self.shard = shard
+        #: How long the store had been waiting when it gave up.
+        self.elapsed_ms = elapsed_ms

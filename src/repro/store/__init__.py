@@ -7,6 +7,10 @@ Public surface:
 * :class:`DenseStore` — the single-table layout (default);
 * :class:`ShardedStore` — rows hash/range-partitioned across N
   in-process shard workers, gathered once per shard per planned call;
+* :class:`ProcessShardedStore` — the same partitioning with each shard
+  owned by a **worker process**, answering gathers over shared-memory
+  row buffers (the cross-process shard service, see
+  :mod:`repro.store.service`);
 * :class:`LRUCachedStore` / :func:`cache_hot_rows` — hot-row LRU cache
   decorating any store (serving's skewed id streams hit it instead of
   the shard machinery);
@@ -23,12 +27,15 @@ import numpy as np
 from repro.store.base import EmbeddingStore, Partitioner, ShardMap, iter_stores
 from repro.store.dense import DenseStore
 from repro.store.lru import LRUCachedStore, cache_hot_rows
+from repro.store.service import ProcessShardedStore, RemoteShardParameter
 from repro.store.sharded import ShardedStore
 
 __all__ = [
     "EmbeddingStore",
     "DenseStore",
     "ShardedStore",
+    "ProcessShardedStore",
+    "RemoteShardParameter",
     "LRUCachedStore",
     "Partitioner",
     "ShardMap",
@@ -38,16 +45,26 @@ __all__ = [
 ]
 
 
-def make_store(values: np.ndarray, n_shards: int = 0, partition: str = "range") -> EmbeddingStore:
+def make_store(
+    values: np.ndarray,
+    n_shards: int = 0,
+    partition: str = "range",
+    service: bool = False,
+) -> EmbeddingStore:
     """Build the layout for an initial table: dense unless ``n_shards >= 2``.
 
     ``n_shards`` of 0 or 1 keeps the single-table :class:`DenseStore`
     (bit-for-bit the historical behaviour); 2+ partitions the same
     initial values across a :class:`ShardedStore`, so any layout built
-    from one init array scores identically.
+    from one init array scores identically.  ``service=True`` moves the
+    shards into worker *processes* (:class:`ProcessShardedStore`) —
+    same contract, same bits, rows owned and gathered outside the GIL
+    (one worker when ``n_shards`` is 0/1).
     """
     if n_shards < 0:
         raise ValueError(f"n_shards must be >= 0, got {n_shards}")
+    if service:
+        return ProcessShardedStore(values, max(n_shards, 1), partition)
     if n_shards <= 1:
         return DenseStore(values)
     return ShardedStore(values, n_shards, partition)

@@ -48,7 +48,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.nn.module import Module
-from repro.store import ShardedStore, iter_stores
+from repro.store import EmbeddingStore, ProcessShardedStore, ShardedStore, iter_stores
 
 __all__ = ["save_checkpoint", "load_checkpoint", "restore_model"]
 
@@ -64,12 +64,17 @@ def _coerce_dtype(dtype) -> np.dtype:
     return resolved
 
 
-def _sharded_entries(model: Module) -> Dict[str, ShardedStore]:
-    """Canonical state-entry name → store, for every sharded table."""
-    out: Dict[str, ShardedStore] = {}
+def _sharded_entries(model: Module) -> Dict[str, EmbeddingStore]:
+    """Canonical state-entry name → store, for every sharded table.
+
+    Covers both shard layouts — in-process :class:`ShardedStore` and the
+    cross-process :class:`ProcessShardedStore` — since both stream rows
+    per shard without materialising the logical table.
+    """
+    out: Dict[str, EmbeddingStore] = {}
     if hasattr(model, "named_modules"):
         for name, store in iter_stores(model):
-            if isinstance(store, ShardedStore):
+            if isinstance(store, (ShardedStore, ProcessShardedStore)):
                 out[f"{name}.weight" if name != "<root>" else "weight"] = store
     return out
 
