@@ -46,7 +46,8 @@ from repro.core import MGBR, MGBRConfig
 from repro.data import NegativeSampler, SyntheticConfig, generate_dataset
 from repro.data.samples import extract_task_a, extract_task_b
 from repro.eval import EvalProtocol
-from repro.nn import no_grad
+from repro.nn import ParallelBackend, backend_scope, no_grad
+from repro.nn.backend import NumpyBackend
 from repro.plan import ScoringPlan
 
 USERS = int(os.environ.get("REPRO_BENCH_EVAL_USERS", "300"))
@@ -259,6 +260,88 @@ def _bench_fused(model, dataset) -> dict:
     }
 
 
+def _bench_parallel(mgbr, gbmf, dataset) -> dict:
+    """Parallel backend vs numpy on fused planned scoring (1:99 lists).
+
+    Same interleaved-pair protocol as :func:`_bench_fused`: each
+    repetition runs one full numpy pass and one full parallel pass over
+    the MGBR 1:99 planned flush, and ``parallel_speedup`` is the median
+    of per-repetition ratios.  Bit-parity is checked separately with a
+    low-threshold backend so the chunked code paths execute even when
+    the timed configuration stays serial (1-CPU containers).  The cell
+    records ``cpu_count``/``n_threads`` so the gate can demand a win
+    only where the hardware can deliver one.
+    """
+    protocol = EvalProtocol(
+        dataset, n_negatives=99, cutoff=100, max_instances=INSTANCES
+    )
+    task_a, task_b = protocol._candidate_lists()
+    plan_a = ScoringPlan.for_items(task_a["users"], task_a["candidates"])
+    plan_b = ScoringPlan.for_participants(
+        task_b["users"], task_b["items"], task_b["candidates"]
+    )
+
+    def one_pass(model, backend):
+        previous = model.executor
+        with no_grad(), backend_scope(backend):
+            model.executor = "fused"
+            try:
+                model.refresh_cache()
+                started = time.perf_counter()
+                scores = [
+                    np.array(model.score_item_plan(plan_a)),
+                    np.array(model.score_participant_plan(plan_b)),
+                ]
+                elapsed = time.perf_counter() - started
+            finally:
+                model.executor = previous
+        return scores, elapsed
+
+    numpy_backend = NumpyBackend()
+    # Timed configuration: default thread count (cpu-bound), threshold
+    # low enough that the ~1e4-unique-pair 1:99 plans actually chunk.
+    timed = ParallelBackend(min_parallel_rows=1024)
+    # Parity configuration: forced chunking regardless of core count.
+    forced = ParallelBackend(n_threads=4, min_parallel_rows=64)
+    try:
+        parity = {}
+        for name, model in (("mgbr", mgbr), ("gbmf", gbmf)):
+            reference, _ = one_pass(model, numpy_backend)
+            chunked, _ = one_pass(model, forced)
+            parity[name] = all(
+                np.array_equal(r, c) for r, c in zip(reference, chunked)
+            )
+        one_pass(mgbr, timed)  # warm the pool + caches before timing
+        ratios, numpy_times, parallel_times = [], [], []
+        for _ in range(FUSED_PAIRS):
+            _, numpy_seconds = one_pass(mgbr, numpy_backend)
+            _, parallel_seconds = one_pass(mgbr, timed)
+            ratios.append(numpy_seconds / parallel_seconds)
+            numpy_times.append(numpy_seconds)
+            parallel_times.append(parallel_seconds)
+    finally:
+        timed.close()
+        forced.close()
+    n_pairs = plan_a.n_pairs + plan_b.n_pairs
+    numpy_best, parallel_best = min(numpy_times), min(parallel_times)
+    return {
+        "cpu_count": os.cpu_count(),
+        "n_threads": timed.n_threads,
+        "min_parallel_rows": timed.min_parallel_rows,
+        "paired_repeats": FUSED_PAIRS,
+        "pairs_scored_per_pass": n_pairs,
+        "numpy_seconds": round(numpy_best, 4),
+        "parallel_seconds": round(parallel_best, 4),
+        "numpy_pairs_per_sec": round(n_pairs / numpy_best, 1),
+        "parallel_pairs_per_sec": round(n_pairs / parallel_best, 1),
+        "parallel_speedup": round(float(np.median(ratios)), 2),
+        "parallel_speedup_min": round(float(min(ratios)), 2),
+        "parallel_speedup_max": round(float(max(ratios)), 2),
+        "mgbr_scores_identical": parity["mgbr"],
+        "gbmf_scores_identical": parity["gbmf"],
+    }
+
+
 def run_benchmark() -> dict:
     """Measure both engines on the 1:9 and 1:99 protocols."""
     dataset = _dataset()
@@ -280,6 +363,8 @@ def run_benchmark() -> dict:
         },
         # Fused no-tape executor vs the tape on the MGBR 1:99 lists.
         "fused_executor": _bench_fused(mgbr, dataset),
+        # Thread-parallel backend vs numpy on the same planned flushes.
+        "parallel_backend": _bench_parallel(mgbr, gbmf, dataset),
     }
 
 
@@ -314,6 +399,27 @@ def test_eval_throughput():
     assert fused["fused_speedup"] >= 1.5, (
         f"fused-vs-tape median speedup {fused['fused_speedup']}x < 1.5x"
     )
+    # The parallel backend must stay bit-identical to numpy on both
+    # model families; the throughput demand is hardware-aware — a win
+    # where ≥2 cores serve ≥2 threads, overhead ≤10% (via the row
+    # threshold) where the pool is serialized anyway.
+    par = report["parallel_backend"]
+    assert par["mgbr_scores_identical"], (
+        "parallel-backend MGBR scores diverged from numpy"
+    )
+    assert par["gbmf_scores_identical"], (
+        "parallel-backend GBMF scores diverged from numpy"
+    )
+    if par["cpu_count"] >= 2 and par["n_threads"] >= 2:
+        assert par["parallel_speedup"] > 1.0, (
+            f"parallel backend {par['parallel_speedup']}x on "
+            f"{par['cpu_count']} cpus — expected a win"
+        )
+    else:
+        assert par["parallel_speedup"] >= 0.90, (
+            f"parallel backend overhead >10% on 1 cpu "
+            f"({par['parallel_speedup']}x)"
+        )
 
 
 if __name__ == "__main__":

@@ -133,6 +133,11 @@ class FusedWorkspace:
         # (a gc'd temp's id could otherwise be recycled onto a foreign
         # array, which an in-place op would then corrupt).
         self._live: List[np.ndarray] = []
+        # Row-parallel fused flush: per-slab child workspaces, one per
+        # slab index, each with its own capacity-pooled buffers.  Slab
+        # bodies write disjoint row slices of *shared* output arrays the
+        # parent allocated, so children never touch each other's state.
+        self._slabs: List["FusedWorkspace"] = []
 
     def snapshot(self) -> Dict[str, int]:
         """All counters, including the hot-path hit/miss ints."""
@@ -250,6 +255,49 @@ class FusedWorkspace:
     def scalar(self, value):
         """``value`` as a zero-dim scalar of the flush dtype."""
         return self.dtype.type(value)
+
+    # ------------------------------------------------------------------
+    # Row-parallel flush support (backends exposing ``row_partition``)
+    # ------------------------------------------------------------------
+    def row_partition(self, n_rows: int):
+        """The active backend's slab grid for ``n_rows``, or ``None``.
+
+        Only backends that chunk rows (``repro.nn.parallel``) provide
+        ``row_partition``; everything else runs serial.  The grid is
+        deterministic in ``(n_rows, threads, threshold)`` — never in
+        runtime load — so a row-parallel fused program is bitwise
+        reproducible across schedules.
+        """
+        partition = getattr(self.b, "row_partition", None)
+        return partition(n_rows) if partition is not None else None
+
+    def slab(self, i: int) -> "FusedWorkspace":
+        """Child workspace for slab ``i`` (created once, pooled forever).
+
+        Children carry their own slot pools (capacity-pooled like the
+        parent's, so steady slab grids reuse warm pages) and must be
+        ``begin``-ed by the *calling* thread each flush before slab
+        bodies run on pool workers.
+        """
+        while len(self._slabs) <= i:
+            self._slabs.append(FusedWorkspace())
+        return self._slabs[i]
+
+    def run_slabs(self, slabs, body) -> None:
+        """Execute ``body(i, start, stop)`` for each slab, pool-parallel.
+
+        Delegates to the backend's ``run_slabs`` (slab 0 inline on the
+        caller, the rest on the persistent pool, submitting thread's
+        backend installed in each worker); a backend without one runs
+        the slabs serially in order — same results either way, because
+        slab bodies write disjoint output slices.
+        """
+        runner = getattr(self.b, "run_slabs", None)
+        if runner is None:
+            for i, (start, stop) in enumerate(slabs):
+                body(i, start, stop)
+        else:
+            runner(slabs, body)
 
     # ------------------------------------------------------------------
     # Primitives — each mirrors the tape's op bit-for-bit

@@ -61,6 +61,16 @@ gathers/scatters) is executed through the thread-local
 about graph plumbing (parents, closures, :func:`_unbroadcast`).  NumPy
 is the reference backend; see :mod:`repro.nn.backend` for the contract
 and the instrumented counting backend used by the copy-audit tests.
+
+Each thread *starts* at the process default backend — the numpy
+reference, or whatever ``REPRO_BACKEND`` names (the thread-parallel
+GIL-releasing backend in :mod:`repro.nn.parallel` registers as
+``"parallel"``).  The thread-local selection does **not** cross thread
+spawns, so code handing work to a pool must capture its active backend
+at submission (:func:`repro.nn.backend.bind_backend`) — the serving
+engine's worker thread and the parallel backend's own chunk tasks both
+do.  Every backend is bit-identical to the reference at float64, so ops
+here never care which one is active.
 """
 
 from __future__ import annotations

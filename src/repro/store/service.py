@@ -83,6 +83,7 @@ import time
 import weakref
 from collections import deque
 from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _wait_connections
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -773,16 +774,71 @@ class ProcessShardedStore(EmbeddingStore):
                 self._failed[shard] = "worker died"
                 raise self._unavailable(shard, started, "worker died")
 
+    def _collect(self, pending: List[int], started: float):
+        """Collect one ack per pending shard via a single ``wait`` loop.
+
+        One :func:`multiprocessing.connection.wait` over every
+        outstanding pipe replaces the historical per-shard
+        ``poll(0.1)`` loop: acks are drained in arrival order, so one
+        slow shard no longer delays noticing that a faster one has
+        already answered (or died).  Each wait is capped at 100ms so
+        dead workers whose pipes never become readable are still
+        detected promptly.  Returns ``(replies, first_error)`` —
+        healthy acks are always drained even when some shard fails,
+        keeping every surviving pipe in sync.
+        """
+        deadline = started + self.rpc_timeout
+        replies: Dict[int, tuple] = {}
+        error: Optional[Exception] = None
+        outstanding = {self._conns[k]: k for k in pending}
+        while outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for k in outstanding.values():
+                    self._failed[k] = "rpc timeout"
+                    if error is None:
+                        error = self._unavailable(k, started, "rpc timeout")
+                break
+            ready = _wait_connections(
+                list(outstanding), timeout=min(0.1, remaining)
+            )
+            for conn in ready:
+                k = outstanding.pop(conn)
+                try:
+                    replies[k] = conn.recv()
+                except (EOFError, OSError):
+                    self._failed[k] = "pipe closed"
+                    if error is None:
+                        error = self._unavailable(k, started, "pipe closed")
+            if ready:
+                continue
+            for conn, k in list(outstanding.items()):
+                if not self._procs[k].is_alive():
+                    del outstanding[conn]
+                    try:  # drain a reply that raced the exit
+                        if conn.poll(0):
+                            replies[k] = conn.recv()
+                            continue
+                    except (EOFError, OSError):
+                        pass
+                    self._failed[k] = "worker died"
+                    if error is None:
+                        error = self._unavailable(k, started, "worker died")
+        return replies, error
+
     def _transact(self, msgs: Dict[int, tuple]) -> Dict[int, tuple]:
         """Ring every touched worker's doorbell, then collect every ack.
 
         All sends complete before the first ack is read, so workers run
-        concurrently; acks are collected in fixed (ascending shard)
-        order so the pipes can never desync.  Callers hold ``_io_lock``
-        for the whole transaction — the arena slices stay reserved until
-        every worker has acked.  On a dead/late worker the healthy acks
-        are still drained (keeping every surviving pipe in sync) before
-        the first failure raises.
+        concurrently; acks are then drained in *arrival* order by one
+        :func:`multiprocessing.connection.wait` over all outstanding
+        pipes (see :meth:`_collect`) — each pipe carries exactly one
+        in-flight reply, so arrival-order draining can never desync
+        them.  Callers hold ``_io_lock`` for the whole transaction —
+        the arena slices stay reserved until every worker has acked.
+        On a dead/late worker the healthy acks are still drained
+        (keeping every surviving pipe in sync) before the first
+        failure raises.
         """
         started = time.monotonic()
         error: Optional[Exception] = None
@@ -799,13 +855,9 @@ class ProcessShardedStore(EmbeddingStore):
                 self._failed[k] = "pipe closed"
                 if error is None:
                     error = self._unavailable(k, started, "pipe closed")
-        replies: Dict[int, tuple] = {}
-        for k in sent:
-            try:
-                replies[k] = self._recv(k, started)
-            except Exception as exc:
-                if error is None:
-                    error = exc
+        replies, recv_error = self._collect(sent, started)
+        if error is None:
+            error = recv_error
         if error is not None:
             raise error
         for k, reply in replies.items():
