@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -49,6 +50,8 @@ from repro.eval import EvalProtocol
 from repro.nn import ParallelBackend, backend_scope, no_grad
 from repro.nn.backend import NumpyBackend
 from repro.plan import ScoringPlan
+from repro.training import TrainConfig, Trainer
+from repro.training.checkpoint import restore_model, save_checkpoint
 
 USERS = int(os.environ.get("REPRO_BENCH_EVAL_USERS", "300"))
 ITEMS = int(os.environ.get("REPRO_BENCH_EVAL_ITEMS", "80"))
@@ -342,6 +345,77 @@ def _bench_parallel(mgbr, gbmf, dataset) -> dict:
     }
 
 
+#: Documented accuracy bounds of quantised serving (max |Δ| over the
+#: nDCG@K / MRR / HR@K panel vs the float baseline).  fp16 keeps 11
+#: significand bits — score gaps between ranked candidates dwarf the
+#: rounding, so metric *ordering* must be bitwise stable (Δ == 0).
+#: int8 rounds each embedding element to within scale/2 (≈ row range /
+#: 508); the induced metric drift on the Table-3-style synthetic
+#: protocol stays within 0.05 absolute.
+QUANT_METRIC_BOUNDS = {"fp16": 0.0, "int8": 0.05}
+
+QUANT_DIM = 48  # dim >= 40 keeps int8's (dim+8)/4·dim under the 0.30 gate
+
+
+def _bench_quantized_accuracy(dataset) -> dict:
+    """Quantised serving accuracy: train float → restore into int8/fp16.
+
+    The supported workflow (docs/quantization.md) is post-training
+    quantisation: train the full-precision model, checkpoint it, restore
+    into ``GBMF(quantize=...)`` layouts, and serve the same eval
+    protocol.  Reports nDCG@K / MRR / HR@K deltas vs the float baseline
+    plus the dequantise-on-gather QPS ratio per mode.
+    """
+    trained = GBMF(dataset.n_users, dataset.n_items, dim=QUANT_DIM, seed=MODEL_SEED)
+    config = TrainConfig(
+        epochs=1, batch_size=64, learning_rate=5e-3, train_negatives=3,
+        aux_negatives=3, seed=0,
+    )
+    Trainer(trained, dataset, config).fit()
+    protocol = EvalProtocol(
+        dataset, n_negatives=9, cutoff=10, max_instances=INSTANCES
+    )
+    protocol._candidate_lists()  # one shared candidate cache for all modes
+    gather_ids = np.arange(dataset.n_users, dtype=np.int64)
+    out = {"dim": QUANT_DIM, "bounds": QUANT_METRIC_BOUNDS, "modes": {}}
+    baseline = None
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_checkpoint(trained, Path(tmp) / "gbmf.npz", dtype="float32")
+        for mode in (None, "fp16", "int8"):
+            target = GBMF(dataset.n_users, dataset.n_items, dim=QUANT_DIM,
+                          seed=MODEL_SEED + 1, quantize=mode)
+            restore_model(target, path)
+            metrics = protocol.run(target).flat()
+            store = target.initiator_table.store
+
+            def gather_pass():
+                with no_grad():
+                    for start in range(0, len(gather_ids), 512):
+                        store.gather(gather_ids[start : start + 512])
+
+            _, seconds = _timed(gather_pass)
+            cell = {
+                "metrics": metrics,
+                "gather_rows_per_sec": round(len(gather_ids) / seconds, 1),
+            }
+            if baseline is None:
+                baseline = cell
+                out["modes"]["float32"] = cell
+                continue
+            cell["metric_deltas"] = {
+                k: round(metrics[k] - baseline["metrics"][k], 6)
+                for k in baseline["metrics"]
+            }
+            cell["max_abs_metric_delta"] = round(
+                max(abs(d) for d in cell["metric_deltas"].values()), 6
+            )
+            cell["gather_qps_ratio_vs_float32"] = round(
+                cell["gather_rows_per_sec"] / baseline["gather_rows_per_sec"], 3
+            )
+            out["modes"][mode] = cell
+    return out
+
+
 def run_benchmark() -> dict:
     """Measure both engines on the 1:9 and 1:99 protocols."""
     dataset = _dataset()
@@ -365,6 +439,8 @@ def run_benchmark() -> dict:
         "fused_executor": _bench_fused(mgbr, dataset),
         # Thread-parallel backend vs numpy on the same planned flushes.
         "parallel_backend": _bench_parallel(mgbr, gbmf, dataset),
+        # int8/fp16 serving vs the float baseline on the same weights.
+        "quantized_accuracy": _bench_quantized_accuracy(dataset),
     }
 
 
@@ -420,6 +496,17 @@ def test_eval_throughput():
             f"parallel backend overhead >10% on 1 cpu "
             f"({par['parallel_speedup']}x)"
         )
+    # Quantised serving accuracy: fp16 must not move any eval metric
+    # (bitwise-stable ranking), int8 drift stays within the documented
+    # bound, and both deltas land in the artifact as numbers.
+    quant = report["quantized_accuracy"]
+    for mode, bound in quant["bounds"].items():
+        cell = quant["modes"][mode]
+        assert cell["max_abs_metric_delta"] <= bound, (
+            f"{mode} serving moved eval metrics by "
+            f"{cell['max_abs_metric_delta']} (> {bound})"
+        )
+        assert isinstance(cell["gather_qps_ratio_vs_float32"], float)
 
 
 if __name__ == "__main__":

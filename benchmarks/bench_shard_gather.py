@@ -16,6 +16,13 @@ Measures the quantities the sharded embedding layer trades between
   the largest transient RPC it ever answered (≤ the chunk size — the
   "chunk slack").  This is the number that says a catalog bigger than
   one machine's RAM fits once shards live in separate processes.
+* **Quantised memory tier** — resident bytes/row of the int8 and fp16
+  tiers (:mod:`repro.store.quant`) against the float32 baseline, across
+  the dense, 2-shard, LRU-cached and process-sharded layouts.  Gates:
+  int8 ≤ 0.30× float32 bytes/row (side arrays included — needs
+  ``dim ≥ 40``, so the memory cells use their own ``MEM_DIM``), fp16 ≤
+  0.55×.  Process cells also record peak resident bytes (owned payload
+  + the largest RPC transient at the arena dtype).
 
 Values gathered from shards are asserted bit-identical to the dense
 table, and the resident-row bound is asserted per shard count.
@@ -46,13 +53,28 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.nn.tensor import no_grad
-from repro.store import DenseStore, ProcessShardedStore, ShardedStore
+from repro.nn.tensor import dtype_scope, no_grad
+from repro.store import (
+    DenseStore,
+    LRUCachedStore,
+    ProcessShardedStore,
+    ShardedStore,
+    make_store,
+)
 
 ROWS = int(os.environ.get("REPRO_BENCH_SHARD_ROWS", "200000"))
 DIM = int(os.environ.get("REPRO_BENCH_SHARD_DIM", "64"))
 CHUNK = int(os.environ.get("REPRO_BENCH_SHARD_CHUNK", "4096"))
 ROUNDS = int(os.environ.get("REPRO_BENCH_SHARD_ROUNDS", "3"))
+
+# Memory-tier cells use their own table: the 0.30× int8 gate needs
+# dim >= 40 ((dim + 8) / 4·dim), so MEM_DIM must not follow the smoke
+# run's tiny DIM.
+MEM_ROWS = int(os.environ.get("REPRO_BENCH_MEM_ROWS", "20000"))
+MEM_DIM = int(os.environ.get("REPRO_BENCH_MEM_DIM", "64"))
+
+#: bytes/row ceilings vs the float32 baseline, per quantised mode.
+MEM_GATES = {"int8": 0.30, "fp16": 0.55}
 
 SHARD_COUNTS = (2, 4, 8)
 WORKER_COUNTS = (1, 2, 4)
@@ -175,6 +197,82 @@ def _bench_process(
         store.close()
 
 
+def _mem_cell(layout: str, mode, values: np.ndarray, cpu_count: int) -> dict:
+    """Resident bytes of one (layout, precision) combination.
+
+    ``mode=None`` is the float32 baseline each quantised cell is gated
+    against.  Every cell reports the bytes the *serving tier* holds per
+    logical row — the quantised shadow, the cache payloads, or the
+    worker-owned buffers — which is the factor by which the same RAM
+    covers more rows.
+    """
+    rows = len(values)
+    ids = np.arange(rows, dtype=np.int64)
+    cell = {"layout": layout, "mode": mode or "float32", "rows": rows}
+    if layout == "process2":
+        store = ProcessShardedStore(values, 2, "range", dtype=np.float32,
+                                    quantize=mode)
+        try:
+            with no_grad(), dtype_scope(np.float32):
+                store.gather(ids[: min(CHUNK, rows)])
+            snap = store.stats_snapshot()
+            workers = snap["workers"]
+            resident = sum(w["resident_bytes"] for w in workers)
+            cell["resident_bytes"] = resident
+            cell["peak_resident_bytes"] = max(
+                w["peak_resident_bytes"] for w in workers
+            )
+            cell["arena_bytes"] = snap["arena_bytes"]
+            # The scaling cells above explain when workers serialize;
+            # memory cells are one gather, recorded for the same reading.
+            cell["serialized"] = cpu_count < 3
+        finally:
+            store.close()
+    else:
+        if layout == "dense":
+            store = make_store(values, quantize=mode)
+        elif layout == "sharded2":
+            store = make_store(values, n_shards=2, quantize=mode)
+        elif layout == "lru":
+            store = LRUCachedStore(make_store(values, quantize=mode),
+                                   capacity=rows)
+        else:  # pragma: no cover - config defect
+            raise ValueError(f"unknown memory layout {layout!r}")
+        if mode is None:
+            store.rebind_dtype(np.float32)  # the float32 serving baseline
+        with no_grad(), dtype_scope(np.float32):
+            store.gather(ids)  # LRU cells measure a fully warm cache
+        resident = store.resident_nbytes()
+        cell["resident_bytes"] = int(resident)
+        cell["peak_resident_bytes"] = int(resident)  # no RPC transients
+    cell["bytes_per_row"] = round(cell["resident_bytes"] / rows, 2)
+    return cell
+
+
+def _bench_memory(cpu_count: int) -> dict:
+    """float32 vs fp16 vs int8 resident bytes across the four layouts."""
+    values = np.random.default_rng(SEED + 2).normal(size=(MEM_ROWS, MEM_DIM))
+    layouts = ("dense", "sharded2", "lru", "process2")
+    cells = [
+        _mem_cell(layout, mode, values, cpu_count)
+        for layout in layouts
+        for mode in (None, "fp16", "int8")
+    ]
+    baseline = {
+        c["layout"]: c["resident_bytes"] for c in cells if c["mode"] == "float32"
+    }
+    for cell in cells:
+        cell["ratio_vs_float32"] = round(
+            cell["resident_bytes"] / baseline[cell["layout"]], 3
+        )
+    return {
+        "rows": MEM_ROWS,
+        "dim": MEM_DIM,
+        "cpu_count": cpu_count,
+        "cells": cells,
+    }
+
+
 def run_benchmark() -> dict:
     rng = np.random.default_rng(SEED)
     values = rng.normal(size=(ROWS, DIM))
@@ -202,6 +300,7 @@ def run_benchmark() -> dict:
             _bench_process(values, dense.weight.data, n, chunks)
             for n in WORKER_COUNTS
         ],
+        "memory": _bench_memory(cpu_count),
     }
     for entry in report["sharded"]:
         entry["forward_vs_dense"] = round(
@@ -267,6 +366,18 @@ def check_report(report: dict, smoke: bool = False) -> None:
                 f"in-process ShardedStore at {n} shards"
             )
 
+    memory = report.get("memory", {})
+    for cell in memory.get("cells", []):
+        gate = MEM_GATES.get(cell["mode"])
+        if gate is None:
+            continue  # the float32 baseline rows
+        assert cell["ratio_vs_float32"] <= gate, (
+            f"{cell['mode']} {cell['layout']} tier holds "
+            f"{cell['ratio_vs_float32']}x the float32 bytes/row "
+            f"(gate {gate}x at dim={memory['dim']})"
+        )
+        assert cell["peak_resident_bytes"] >= cell["resident_bytes"]
+
     if process:
         rates = [e["forward_rows_per_sec"] for e in process]
         if not any(e["serialized"] for e in process):
@@ -300,6 +411,7 @@ if __name__ == "__main__":
     args = parser.parse_args()
     if args.smoke:
         ROWS, DIM, CHUNK, ROUNDS = 20000, 16, 1024, 1
+        MEM_ROWS = 4000  # MEM_DIM stays 64: the 0.30x gate needs dim >= 40
     result = run_benchmark()
     check_report(result, smoke=args.smoke)
     if not args.smoke:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.baselines.base import EmbeddingBundle, GroupBuyingRecommender
 from repro.nn.layers import Embedding
+from repro.store import DenseStore
 from repro.utils.rng import SeedLike, spawn_rngs
 
 __all__ = ["GBMF"]
@@ -40,6 +41,11 @@ class GBMF(GroupBuyingRecommender):
         dense because gathers copy exact rows.  ``service=True`` moves
         the shards into worker processes (the cross-process shard
         service, :class:`repro.store.ProcessShardedStore`).
+    quantize: quantised memory tier (``None``/"int8"/"fp16") for the
+        three tables — see docs/quantization.md.  Any quantised layout
+        hands the scoring paths the stores (like the sharded layouts),
+        so inference gathers read the compact tier while training
+        bypasses it.
     """
 
     def __init__(
@@ -51,19 +57,29 @@ class GBMF(GroupBuyingRecommender):
         n_shards: int = 0,
         partition: str = "range",
         service: bool = False,
+        quantize=None,
     ) -> None:
         super().__init__(n_users, n_items)
         rngs = spawn_rngs(seed, 3)
         self.initiator_table = Embedding(
-            n_users, dim, seed=rngs[0], n_shards=n_shards, partition=partition, service=service
+            n_users, dim, seed=rngs[0], n_shards=n_shards, partition=partition,
+            service=service, quantize=quantize,
         )
         self.participant_table = Embedding(
-            n_users, dim, seed=rngs[1], n_shards=n_shards, partition=partition, service=service
+            n_users, dim, seed=rngs[1], n_shards=n_shards, partition=partition,
+            service=service, quantize=quantize,
         )
         self.item_table = Embedding(
-            n_items, dim, seed=rngs[2], n_shards=n_shards, partition=partition, service=service
+            n_items, dim, seed=rngs[2], n_shards=n_shards, partition=partition,
+            service=service, quantize=quantize,
         )
-        self._sharded = n_shards >= 2 or service
+        # Store-backed bundles route scoring through store.gather, which
+        # is what lets the quantised tier serve inference reads.
+        self._sharded = (
+            n_shards >= 2
+            or service
+            or not isinstance(self.initiator_table.store, DenseStore)
+        )
 
     def compute_embeddings(self) -> EmbeddingBundle:
         """MF has no encoder — the tables are the representations.

@@ -115,6 +115,12 @@ class MGBRConfig:
     #: gathered outside the GIL over shared-memory buffers.  Same
     #: bit-parity contract as the in-process layouts.
     embedding_service: bool = False
+    #: Quantised embedding memory tier: ``None`` (float rows), "int8"
+    #: (per-row affine codes + scale/zero side arrays, ~4× rows per
+    #: byte) or "fp16" (~2×).  Training bypasses the tier (in-process
+    #: layouts keep a float master; a quantised *service* layout is
+    #: inference-only).  See docs/quantization.md.
+    embedding_quantize: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.d <= 0:
@@ -147,6 +153,11 @@ class MGBRConfig:
         if self.embedding_partition not in ("range", "hash"):
             raise ValueError(
                 f"embedding_partition must be range|hash, got {self.embedding_partition!r}"
+            )
+        if self.embedding_quantize not in (None, "int8", "fp16"):
+            raise ValueError(
+                f"embedding_quantize must be None|int8|fp16, "
+                f"got {self.embedding_quantize!r}"
             )
         if self.mlp_hidden is None:
             self.mlp_hidden = (self.d, max(self.d // 2, 1))

@@ -70,6 +70,7 @@ class MGBR(GroupBuyingRecommender):
                 n_shards=self.config.embedding_shards,
                 partition=self.config.embedding_partition,
                 service=self.config.embedding_service,
+                quantize=self.config.embedding_quantize,
             )
         else:
             self.encoder = MultiViewEmbedding.from_groups(
@@ -83,6 +84,7 @@ class MGBR(GroupBuyingRecommender):
                 n_shards=self.config.embedding_shards,
                 partition=self.config.embedding_partition,
                 service=self.config.embedding_service,
+                quantize=self.config.embedding_quantize,
             )
         self.mtl = MultiTaskModule(self.config, seed=rngs[1])
         self.head_a = PredictionHead(self.config.d, self.config.mlp_hidden, seed=rngs[2])

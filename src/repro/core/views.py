@@ -51,6 +51,7 @@ class MultiViewEmbedding(Module):
         n_shards: int = 0,
         partition: str = "range",
         service: bool = False,
+        quantize=None,
     ) -> None:
         super().__init__()
         self.views = views
@@ -65,17 +66,17 @@ class MultiViewEmbedding(Module):
         self.gcn_ui = GCN(
             n_bip, dim, n_layers, feature_std=feature_std, seed=rng_ui, gain=gain,
             adjacency=views.a_ui, n_shards=n_shards, partition=partition,
-            service=service,
+            service=service, quantize=quantize,
         )
         self.gcn_pi = GCN(
             n_bip, dim, n_layers, feature_std=feature_std, seed=rng_pi, gain=gain,
             adjacency=views.a_pi, n_shards=n_shards, partition=partition,
-            service=service,
+            service=service, quantize=quantize,
         )
         self.gcn_up = GCN(
             views.n_users, dim, n_layers, feature_std=feature_std, seed=rng_up, gain=gain,
             adjacency=views.a_up, n_shards=n_shards, partition=partition,
-            service=service,
+            service=service, quantize=quantize,
         )
 
     def forward(self) -> EmbeddingBundle:
@@ -115,6 +116,7 @@ class MultiViewEmbedding(Module):
         n_shards: int = 0,
         partition: str = "range",
         service: bool = False,
+        quantize=None,
     ) -> "MultiViewEmbedding":
         """Convenience constructor building the views from deal groups."""
         views = build_views(
@@ -123,6 +125,7 @@ class MultiViewEmbedding(Module):
         return cls(
             views, dim, n_layers, feature_std=feature_std, seed=seed, gain=gain,
             n_shards=n_shards, partition=partition, service=service,
+            quantize=quantize,
         )
 
 
@@ -149,6 +152,7 @@ class HINEmbedding(Module):
         n_shards: int = 0,
         partition: str = "range",
         service: bool = False,
+        quantize=None,
     ) -> None:
         super().__init__()
         self.n_users = n_users
@@ -157,7 +161,7 @@ class HINEmbedding(Module):
         self.gcn = GCN(
             n_users + n_items, 2 * dim, n_layers, feature_std=feature_std, seed=seed,
             gain=gain, adjacency=self.adjacency, n_shards=n_shards, partition=partition,
-            service=service,
+            service=service, quantize=quantize,
         )
 
     def forward(self) -> EmbeddingBundle:

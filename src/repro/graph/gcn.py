@@ -92,6 +92,7 @@ class GCN(Module):
         n_shards: int = 0,
         partition: str = "range",
         service: bool = False,
+        quantize: Optional[str] = None,
     ) -> None:
         super().__init__()
         if n_layers < 1:
@@ -108,6 +109,7 @@ class GCN(Module):
         self.features = Embedding(
             n_nodes, dim, seed=rng, std=feature_std,
             n_shards=n_shards, partition=partition, service=service,
+            quantize=quantize,
         )
         self._layers: List[GCNLayer] = []
         for layer_idx in range(n_layers):

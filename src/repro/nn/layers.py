@@ -204,9 +204,12 @@ class Embedding(Module):
     parameters register here as ``shard0..shardN-1``.  ``service=True``
     moves those shards into worker *processes*
     (:class:`repro.store.ProcessShardedStore`) behind the identical
-    contract.  Checkpoint state is canonical either way — one logical
-    ``weight`` table — so a model saved under any layout restores under
-    any other (see ``Module.state_dict``).
+    contract.  ``quantize="int8"|"fp16"`` adds the quantised memory
+    tier on any layout (:class:`repro.store.QuantizedStore` /
+    worker-side quantisation — see docs/quantization.md).  Checkpoint
+    state is canonical either way — one logical ``weight`` table — so a
+    model saved under any layout restores under any other (see
+    ``Module.state_dict``).
     """
 
     def __init__(
@@ -219,6 +222,7 @@ class Embedding(Module):
         n_shards: int = 0,
         partition: str = "range",
         service: bool = False,
+        quantize: Optional[str] = None,
     ) -> None:
         super().__init__()
         from repro.store import make_store  # deferred: breaks the nn<->store cycle
@@ -236,6 +240,7 @@ class Embedding(Module):
                 n_shards=n_shards,
                 partition=partition,
                 service=service,
+                quantize=quantize,
             )
         if (store.num_rows, store.dim) != (num_embeddings, dim):
             raise ValueError(

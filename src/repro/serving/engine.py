@@ -656,12 +656,26 @@ class ServingEngine:
             "misses": misses,
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
+
+        def tier_bytes(snap: dict) -> int:
+            # A wrapper's resident_bytes covers only its own tier; walk
+            # the nested inner snapshots so the aggregate counts every
+            # tier (LRU payloads + quantised shadow + float master).
+            total = snap.get("resident_bytes", 0)
+            inner = snap.get("inner")
+            return total + (tier_bytes(inner) if inner else 0)
+
+        memory = {
+            "resident_bytes": sum(tier_bytes(s) for s in stores.values()),
+            "stores": {name: tier_bytes(s) for name, s in stores.items()},
+        }
         out = {
             "engine": engine,
             "overload": overload,
             "batcher": batcher,
             "stores": stores,
             "cache": cache,
+            "memory": memory,
         }
         if fallback is not None:
             out["fallback"] = fallback

@@ -22,11 +22,15 @@ Public surface:
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 import numpy as np
 
 from repro.store.base import EmbeddingStore, Partitioner, ShardMap, iter_stores
 from repro.store.dense import DenseStore
 from repro.store.lru import LRUCachedStore, cache_hot_rows
+from repro.store.quant import QuantizedStore, check_quant_mode, quant_bytes_per_row
 from repro.store.service import ProcessShardedStore, RemoteShardParameter
 from repro.store.sharded import ShardedStore
 
@@ -37,12 +41,31 @@ __all__ = [
     "ProcessShardedStore",
     "RemoteShardParameter",
     "LRUCachedStore",
+    "QuantizedStore",
     "Partitioner",
     "ShardMap",
     "iter_stores",
     "cache_hot_rows",
     "make_store",
+    "quant_bytes_per_row",
 ]
+
+
+def _resolve_quantize(quantize, service: bool) -> Optional[str]:
+    """Apply the ``REPRO_QUANTIZE`` process default to an unset knob.
+
+    The env default covers the *in-process* layouts only: a quantised
+    process-shard service is inference-only (grad gathers raise), so
+    turning it on implicitly would break any training construction —
+    ``service=True`` stores opt in explicitly via ``quantize=``.
+    Callers can pin the float layout against the env with
+    ``quantize="none"`` (or ``""``/``False``).
+    """
+    if quantize is None and not service:
+        quantize = os.environ.get("REPRO_QUANTIZE") or None
+    if quantize in ("none", "", False):
+        quantize = None
+    return check_quant_mode(quantize)
 
 
 def make_store(
@@ -50,6 +73,7 @@ def make_store(
     n_shards: int = 0,
     partition: str = "range",
     service: bool = False,
+    quantize: Optional[str] = None,
 ) -> EmbeddingStore:
     """Build the layout for an initial table: dense unless ``n_shards >= 2``.
 
@@ -60,11 +84,27 @@ def make_store(
     shards into worker *processes* (:class:`ProcessShardedStore`) —
     same contract, same bits, rows owned and gathered outside the GIL
     (one worker when ``n_shards`` is 0/1).
+
+    ``quantize="int8"|"fp16"`` adds the quantised memory tier
+    (docs/quantization.md): in-process layouts get a
+    :class:`QuantizedStore` wrapper over the float master (training
+    bypasses it; inference gathers dequantise from the compact shadow),
+    while ``service=True`` quantises the rows *inside* each worker
+    process (inference-only).  ``quantize=None`` defers to the
+    ``REPRO_QUANTIZE`` environment default for in-process layouts;
+    ``quantize="none"`` pins the float layout regardless.
     """
     if n_shards < 0:
         raise ValueError(f"n_shards must be >= 0, got {n_shards}")
+    mode = _resolve_quantize(quantize, service)
     if service:
-        return ProcessShardedStore(values, max(n_shards, 1), partition)
+        return ProcessShardedStore(
+            values, max(n_shards, 1), partition, quantize=mode
+        )
     if n_shards <= 1:
-        return DenseStore(values)
-    return ShardedStore(values, n_shards, partition)
+        store: EmbeddingStore = DenseStore(values)
+    else:
+        store = ShardedStore(values, n_shards, partition)
+    if mode is not None:
+        store = QuantizedStore(store, mode)
+    return store

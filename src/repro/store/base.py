@@ -288,9 +288,24 @@ class EmbeddingStore:
             )
 
     def stats_snapshot(self) -> dict:
-        """Consistent copy of the gather counters (safe from any thread)."""
+        """Consistent copy of the gather counters (safe from any thread).
+
+        Includes ``resident_bytes`` whenever the store can account for
+        its buffers (:meth:`resident_nbytes`), so benchmarks and the
+        serving engine read a counter instead of ``sys.getsizeof``
+        guesswork.
+        """
         with self._lock:
-            return dict(self.stats)
+            out = dict(self.stats)
+        nbytes = self.resident_nbytes()
+        if nbytes is not None:
+            out["resident_bytes"] = int(nbytes)
+        return out
+
+    def resident_nbytes(self) -> Optional[int]:
+        """Bytes permanently held by this store tier (rows + side arrays
+        + arenas), or ``None`` when the layout cannot account for them."""
+        return None
 
     def _record_touch(self, param: Parameter, local_ids: np.ndarray) -> None:
         """Note rows that will receive gradient (lazy-row optimizer input)."""

@@ -43,6 +43,9 @@ class DenseStore(EmbeddingStore):
     def named_parameters(self) -> List[Tuple[str, Parameter]]:
         return [("weight", self.weight)]
 
+    def resident_nbytes(self) -> int:
+        return self.weight.data.nbytes
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------

@@ -23,6 +23,14 @@ Correctness contract
   store, which builds the normal differentiable gather (and records
   ``touched_rows``).  Training through a cached store is therefore
   bit-for-bit training through the inner store.
+* **Quantised payloads** — when the inner store exposes a quantised
+  tier (:class:`repro.store.quant.QuantizedStore`, duck-typed on
+  ``gather_quantized``), the cache holds the *quantised* rows (int8
+  codes + per-row scale/zero, or fp16 rows) instead of float copies, so
+  the same cache RAM covers ~4× (int8) / ~2× (fp16) the hot set.  A hit
+  dequantises straight into the output block — the buffer the fused
+  executor adopts — with no intermediate float allocation, and is
+  bit-identical to an inner-store miss gather (single shared codec).
 * **Threads** — cache mutations and the hit/miss counters share the
   store's lock, so the serving engine's scorer thread and any stats
   reader interleave safely; the engine's single-scorer invariant means
@@ -43,6 +51,7 @@ import numpy as np
 from repro.nn.module import Parameter
 from repro.nn.tensor import Tensor, get_default_dtype, is_grad_enabled
 from repro.store.base import EmbeddingStore
+from repro.store.quant import dequantize_row
 
 __all__ = ["LRUCachedStore", "cache_hot_rows"]
 
@@ -67,7 +76,11 @@ class LRUCachedStore(EmbeddingStore):
         self.inner = inner
         self.capacity = int(capacity)
         self.num_rows, self.dim = inner.num_rows, inner.dim
-        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        # Quantised inner tier: cache (codes, scale, zero) payloads and
+        # dequantise on hit, instead of caching float row copies.
+        self._quantized = hasattr(inner, "gather_quantized")
+        self._rows: "OrderedDict[int, object]" = OrderedDict()
+        self._cache_nbytes = 0
         self._epoch: Optional[Tuple] = None
         self.stats.update({"cache_hits": 0, "cache_misses": 0, "cache_evictions": 0})
 
@@ -77,6 +90,10 @@ class LRUCachedStore(EmbeddingStore):
     @property
     def n_shards(self) -> int:
         return self.inner.n_shards
+
+    @property
+    def partition(self) -> str:
+        return self.inner.partition
 
     def shard_size_of(self, shard: int) -> int:
         return self.inner.shard_size_of(shard)
@@ -107,6 +124,7 @@ class LRUCachedStore(EmbeddingStore):
         with self._lock:
             if epoch != self._epoch:
                 self._rows.clear()
+                self._cache_nbytes = 0
                 self._epoch = epoch
             for i in unique.tolist():
                 row = self._rows.get(i)
@@ -121,20 +139,43 @@ class LRUCachedStore(EmbeddingStore):
             # Inner fetch runs outside the lock (it may touch several
             # shard buffers); per-row copies keep evicted rows from
             # pinning the whole fetched block alive.
-            fetched = self.inner.gather(np.asarray(missing, dtype=np.int64)).data
+            marr = np.asarray(missing, dtype=np.int64)
+            if self._quantized:
+                fq, fs, fz = self.inner.gather_quantized(marr)
+                payloads = [
+                    (
+                        np.array(fq[k]),
+                        None if fs is None else np.float32(fs[k]),
+                        None if fz is None else np.float32(fz[k]),
+                    )
+                    for k in range(len(missing))
+                ]
+            else:
+                fetched = self.inner.gather(marr).data
+                payloads = [np.array(fetched[k]) for k in range(len(missing))]
             with self._lock:
                 if epoch == self._epoch:  # a writer may have raced the fetch
-                    for k, i in enumerate(missing):
-                        self._rows[i] = np.array(fetched[k])
+                    for i, payload in zip(missing, payloads):
+                        self._rows[i] = payload
+                        self._cache_nbytes += self._payload_nbytes(payload)
                     while len(self._rows) > self.capacity:
-                        self._rows.popitem(last=False)
+                        _, old = self._rows.popitem(last=False)
+                        self._cache_nbytes -= self._payload_nbytes(old)
                         self.stats["cache_evictions"] += 1
-            for k, i in enumerate(missing):
-                found[i] = fetched[k]
+            for i, payload in zip(missing, payloads):
+                found[i] = payload
         self._record_gather(idx.size, 0, 0)
         block = np.empty((len(unique), self.dim), dtype=get_default_dtype())
-        for pos, i in enumerate(unique.tolist()):
-            block[pos] = found[i]
+        if self._quantized:
+            # Dequantise each payload straight into its output row — the
+            # block the fused executor adopts; no intermediate float
+            # allocation, bit-identical to a bulk inner gather.
+            for pos, i in enumerate(unique.tolist()):
+                q, scale, zero = found[i]
+                dequantize_row(q, scale, zero, block[pos])
+        else:
+            for pos, i in enumerate(unique.tolist()):
+                block[pos] = found[i]
         if idx.size == unique.size and np.array_equal(unique, idx):
             return Tensor(block)  # planned gathers pass sorted-unique ids
         return Tensor(block[np.searchsorted(unique, idx)])
@@ -148,7 +189,16 @@ class LRUCachedStore(EmbeddingStore):
     def _invalidate(self) -> None:
         with self._lock:
             self._rows.clear()
+            self._cache_nbytes = 0
             self._epoch = None
+
+    @staticmethod
+    def _payload_nbytes(payload) -> int:
+        if isinstance(payload, tuple):
+            q, scale, _ = payload
+            # int8 payloads carry two float32 side scalars per row.
+            return q.nbytes + (0 if scale is None else 8)
+        return payload.nbytes
 
     def logical_state(self) -> np.ndarray:
         return self.inner.logical_state()
@@ -183,6 +233,12 @@ class LRUCachedStore(EmbeddingStore):
         with self._lock:
             total = self.stats["cache_hits"] + self.stats["cache_misses"]
             return self.stats["cache_hits"] / total if total else 0.0
+
+    def resident_nbytes(self) -> int:
+        """Bytes held by the cache tier itself (payload rows; the inner
+        store's buffers are reported by the nested ``inner`` snapshot)."""
+        with self._lock:
+            return self._cache_nbytes
 
     def stats_snapshot(self) -> dict:
         out = super().stats_snapshot()

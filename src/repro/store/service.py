@@ -91,6 +91,12 @@ import numpy as np
 from repro.nn.module import Parameter
 from repro.nn.tensor import Tensor, _scatter_rows_add, is_grad_enabled
 from repro.store.base import EmbeddingStore, Partitioner, ShardMap
+from repro.store.quant import (
+    check_quant_mode,
+    dequantize_rows,
+    quant_bytes_per_row,
+    quantize_rows,
+)
 
 __all__ = ["ProcessShardedStore", "RemoteShardParameter"]
 
@@ -164,12 +170,23 @@ def _unlink_shm(shm: shared_memory.SharedMemory) -> None:
 
 
 class _WorkerState:
-    """Everything one shard worker owns (lives only in the worker)."""
+    """Everything one shard worker owns (lives only in the worker).
 
-    __slots__ = ("rows", "grad", "m", "v", "vel", "touched", "base")
+    Unquantised workers hold float ``rows``; quantised workers
+    (``quantize="int8"|"fp16"``) hold only the compact payload —
+    ``q`` codes plus int8's per-row ``scale``/``zero`` side arrays —
+    and ``rows`` stays ``None``, which is what shrinks per-worker
+    resident bytes by the tier's factor.  Quantised workers serve
+    inference only: the training ops raise instead of touching rows.
+    """
 
-    def __init__(self, rows: np.ndarray, base: int) -> None:
+    __slots__ = ("rows", "q", "scale", "zero", "grad", "m", "v", "vel", "touched", "base")
+
+    def __init__(self, rows: Optional[np.ndarray], base: int) -> None:
         self.rows = rows
+        self.q: Optional[np.ndarray] = None
+        self.scale: Optional[np.ndarray] = None
+        self.zero: Optional[np.ndarray] = None
         self.grad: Optional[np.ndarray] = None
         self.m: Optional[np.ndarray] = None
         self.v: Optional[np.ndarray] = None
@@ -178,10 +195,23 @@ class _WorkerState:
         self.base = base
 
 
+_QUANT_TRAIN_ERROR = (
+    "quantised shards serve inference only — train the full-precision "
+    "layout and restore the checkpoint into a quantize= store "
+    "(see docs/quantization.md)"
+)
+
+
+def _require_trainable(state: _WorkerState) -> np.ndarray:
+    if state.rows is None:
+        raise RuntimeError(_QUANT_TRAIN_ERROR)
+    return state.rows
+
+
 def _worker_accumulate(state: _WorkerState, grad: np.ndarray) -> None:
     """Mirror ``Tensor._accumulate``: zeros-init then in-place add."""
     if state.grad is None:
-        state.grad = np.zeros_like(state.rows)
+        state.grad = np.zeros_like(_require_trainable(state))
     state.grad += grad
 
 
@@ -265,7 +295,28 @@ def _shard_worker(shard: int, conn, parent_conn, spec: dict) -> None:
         parent_conn.close()
     size, dim = spec["size"], spec["dim"]
     dtype = np.dtype(spec["dtype"])
-    state = _WorkerState(np.zeros((size, dim), dtype=dtype), spec["base"])
+    quantize = spec.get("quantize")
+    if quantize:
+        # Quantised workers never allocate float rows: codes (+ int8's
+        # side arrays) are the whole resident payload.  Zero-init codes
+        # with the degenerate convention (scale=1, zero=0) dequantise to
+        # exact zeros — matching the unquantised zero-init contract.
+        state = _WorkerState(None, spec["base"])
+        if quantize == "int8":
+            state.q = np.zeros((size, dim), dtype=np.int8)
+            state.scale = np.ones(size, dtype=np.float32)
+            state.zero = np.zeros(size, dtype=np.float32)
+        else:
+            state.q = np.zeros((size, dim), dtype=np.float16)
+    else:
+        state = _WorkerState(np.zeros((size, dim), dtype=dtype), spec["base"])
+
+    def dequant_into(local: np.ndarray, out: np.ndarray) -> None:
+        """Worker-side dequantise-on-gather into the shared result arena."""
+        q = state.q.take(local, axis=0, mode="clip")
+        scale = None if state.scale is None else state.scale.take(local, mode="clip")
+        zero = None if state.zero is None else state.zero.take(local, mode="clip")
+        dequantize_rows(q, scale, zero, out=out)
 
     stats_shm = _attach_shm(spec["stats_name"])
     stats = np.ndarray(
@@ -298,22 +349,40 @@ def _shard_worker(shard: int, conn, parent_conn, spec: dict) -> None:
                     local = ids_np[i0:i1]
                     if op == "gatherg":
                         local = local - state.base
-                    state.rows.take(local, axis=0, out=res_np[r0 : r0 + n], mode="clip")
+                    if quantize:
+                        dequant_into(local, res_np[r0 : r0 + n])
+                    else:
+                        state.rows.take(
+                            local, axis=0, out=res_np[r0 : r0 + n], mode="clip"
+                        )
                     note_rpc(_ST_GATHERS, n)
                     stats[_ST_ROWS_SERVED] += n
                     conn.send(("ok",))
                 elif op == "read":
                     _, i0, i1, r0 = msg
                     n = i1 - i0
-                    state.rows.take(
-                        ids_np[i0:i1], axis=0, out=res_np[r0 : r0 + n], mode="clip"
-                    )
+                    if quantize:
+                        dequant_into(ids_np[i0:i1], res_np[r0 : r0 + n])
+                    else:
+                        state.rows.take(
+                            ids_np[i0:i1], axis=0, out=res_np[r0 : r0 + n], mode="clip"
+                        )
                     note_rpc(_ST_READS, n)
                     conn.send(("ok",))
                 elif op == "assign":
                     _, i0, i1, r0 = msg
                     n = i1 - i0
-                    state.rows[ids_np[i0:i1]] = res_np[r0 : r0 + n]
+                    local = ids_np[i0:i1]
+                    if quantize:
+                        # Re-quantise the written rows (per-row scale
+                        # refresh) — the live-swap / reshard write path.
+                        q, scale, zero = quantize_rows(res_np[r0 : r0 + n], quantize)
+                        state.q[local] = q
+                        if scale is not None:
+                            state.scale[local] = scale
+                            state.zero[local] = zero
+                    else:
+                        state.rows[local] = res_np[r0 : r0 + n]
                     note_rpc(_ST_ASSIGNS, n)
                     conn.send(("ok",))
                 elif op == "accum":
@@ -323,7 +392,8 @@ def _shard_worker(shard: int, conn, parent_conn, spec: dict) -> None:
                     _worker_accumulate(
                         state,
                         _scatter_rows_add(
-                            local, res_np[r0 : r0 + n], size, state.rows.dtype
+                            local, res_np[r0 : r0 + n], size,
+                            _require_trainable(state).dtype,
                         ),
                     )
                     if n:
@@ -363,7 +433,11 @@ def _shard_worker(shard: int, conn, parent_conn, spec: dict) -> None:
                     conn.send(("ok", applied))
                 elif op == "rebind":
                     dtype = np.dtype(msg[1])
-                    state.rows = np.array(state.rows, dtype=dtype)
+                    if not quantize:
+                        # Quantised payloads are dtype-independent: the
+                        # rebind only switches the arena precision the
+                        # worker dequantises into (handled by "remap").
+                        state.rows = np.array(state.rows, dtype=dtype)
                     state.grad = None
                     conn.send(("ok",))
                 elif op == "remap":
@@ -502,6 +576,17 @@ class ProcessShardedStore(EmbeddingStore):
         :class:`repro.serving.errors.ShardUnavailable`.
     start_method: multiprocessing start method (default ``fork`` when
         the platform offers it, else the platform default).
+    quantize: ``None`` (float rows — the historical layout) or
+        ``"int8"``/``"fp16"``: each worker holds only the *quantised*
+        payload of its rows (codes + int8's per-row scale/zero side
+        arrays) and dequantises into its disjoint result-arena slice on
+        gather, shrinking per-worker resident bytes by ~4×/~2×.
+        Quantised stores serve **inference only**: grad-enabled gathers
+        raise (train the full-precision layout, then restore the
+        canonical float checkpoint into a quantised store).  Writes
+        (``assign_rows``, reshard streaming, ``refresh()`` live swaps)
+        re-quantise inside the owning worker with a per-row scale
+        refresh.
     """
 
     def __init__(
@@ -516,6 +601,7 @@ class ProcessShardedStore(EmbeddingStore):
         io_chunk: int = 16384,
         rpc_timeout: float = 30.0,
         start_method: Optional[str] = None,
+        quantize: Optional[str] = None,
     ) -> None:
         super().__init__()
         if values is not None:
@@ -529,6 +615,7 @@ class ProcessShardedStore(EmbeddingStore):
             raise ValueError(f"io_chunk must be >= 1, got {io_chunk}")
         self.num_rows, self.dim = int(num_rows), int(dim)
         self.partitioner = Partitioner(self.num_rows, n_shards, partition)
+        self.quantize = check_quant_mode(quantize)
         self._dtype = np.dtype(dtype)
         self.io_chunk = int(io_chunk)
         self.rpc_timeout = float(rpc_timeout)
@@ -578,6 +665,7 @@ class ProcessShardedStore(EmbeddingStore):
                 "ids_name": self._ids_shm.name,
                 "res_name": self._res_shm.name,
                 "res_cap": self._cap,
+                "quantize": self.quantize,
             }
             proc = ctx.Process(
                 target=_shard_worker,
@@ -705,6 +793,7 @@ class ProcessShardedStore(EmbeddingStore):
         """
         snap = super().stats_snapshot()
         rows = np.array(self._stats_np, copy=True)
+        row_bytes = self._worker_bytes_per_row()
         workers = []
         for k in range(self.n_shards):
             row = rows[k]
@@ -723,12 +812,36 @@ class ProcessShardedStore(EmbeddingStore):
                     "errors": int(row[_ST_ERRORS]),
                     "resident_rows": int(owned),
                     "peak_resident_rows": int(owned + row[_ST_MAX_RPC_ROWS]),
+                    "resident_bytes": int(owned * row_bytes),
+                    "peak_resident_bytes": int(
+                        (owned + row[_ST_MAX_RPC_ROWS]) * row_bytes
+                    ),
                 }
             )
         snap["layout"] = "process"
+        snap["quant_mode"] = self.quantize
         snap["workers"] = workers
         snap["worker_rows_served"] = int(rows[:, _ST_ROWS_SERVED].sum())
+        snap["arena_bytes"] = int(self._arena_nbytes())
         return snap
+
+    def _worker_bytes_per_row(self) -> int:
+        """Bytes one worker holds per owned row (payload, side arrays)."""
+        return quant_bytes_per_row(self.dim, self.quantize, self._dtype.itemsize)
+
+    def _arena_nbytes(self) -> int:
+        """Bytes of the live shared id/result arenas (parent-owned)."""
+        return self._cap * 8 + self._cap * self.dim * self._dtype.itemsize
+
+    def resident_nbytes(self) -> int:
+        """Worker row payloads plus the live shared arenas."""
+        return (
+            sum(
+                self.partitioner.shard_size(k) * self._worker_bytes_per_row()
+                for k in range(self.n_shards)
+            )
+            + self._arena_nbytes()
+        )
 
     # ------------------------------------------------------------------
     # RPC plumbing
@@ -946,6 +1059,11 @@ class ProcessShardedStore(EmbeddingStore):
         idx = np.asarray(ids, dtype=np.int64)
         n = idx.size
         grad = is_grad_enabled()
+        if grad and self.quantize:
+            # Fail before any RPC: quantised workers hold no float rows
+            # to train (the in-process QuantizedStore bypasses to its
+            # float master here; this layout deliberately has none).
+            raise RuntimeError(_QUANT_TRAIN_ERROR)
 
         smap: Optional[ShardMap] = None
         if plan is not None and role is not None:
@@ -1118,6 +1236,8 @@ class ProcessShardedStore(EmbeddingStore):
         (plus the unpermute scatter for hash partitioning).
         """
         self._check_open()
+        if is_grad_enabled() and self.quantize:
+            raise RuntimeError(_QUANT_TRAIN_ERROR)
         value = self.logical_state()
         for p in self._params:
             self._record_touch_all(p)

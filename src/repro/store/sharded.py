@@ -97,6 +97,9 @@ class ShardedStore(EmbeddingStore):
     def named_parameters(self) -> List[Tuple[str, Parameter]]:
         return [(f"shard{k}", p) for k, p in enumerate(self._shards)]
 
+    def resident_nbytes(self) -> int:
+        return sum(p.data.nbytes for p in self._shards)
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------

@@ -64,17 +64,32 @@ def _coerce_dtype(dtype) -> np.dtype:
     return resolved
 
 
+def _base_store(store: EmbeddingStore) -> EmbeddingStore:
+    """Unwrap decorator tiers (LRU cache, quantised shadow) to the layout.
+
+    The *wrapper* stays the streaming target — its ``assign_rows`` is
+    what re-quantises written rows / invalidates cached ones — but the
+    layout decision (is this table sharded?) belongs to the base store.
+    """
+    while isinstance(getattr(store, "inner", None), EmbeddingStore):
+        store = store.inner
+    return store
+
+
 def _sharded_entries(model: Module) -> Dict[str, EmbeddingStore]:
     """Canonical state-entry name → store, for every sharded table.
 
     Covers both shard layouts — in-process :class:`ShardedStore` and the
     cross-process :class:`ProcessShardedStore` — since both stream rows
-    per shard without materialising the logical table.
+    per shard without materialising the logical table.  Wrapper tiers
+    (:class:`repro.store.LRUCachedStore`,
+    :class:`repro.store.QuantizedStore`) are looked *through* for the
+    layout check while the wrapped store keeps handling the streaming.
     """
     out: Dict[str, EmbeddingStore] = {}
     if hasattr(model, "named_modules"):
         for name, store in iter_stores(model):
-            if isinstance(store, (ShardedStore, ProcessShardedStore)):
+            if isinstance(_base_store(store), (ShardedStore, ProcessShardedStore)):
                 out[f"{name}.weight" if name != "<root>" else "weight"] = store
     return out
 

@@ -85,7 +85,8 @@ class TestTaskBTailoring:
             s = model.score_participants_from(emb, u, np.array([0, 1]), p).data
             assert s[0] == pytest.approx(s[1]), name
 
-    def test_gbmf_task_b_uses_role_tables(self, tiny_dataset):
+    def test_gbmf_task_b_uses_role_tables(self, tiny_dataset, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)  # needs dense tables
         # GBMF's Task-B inner product pairs the participant-role table
         # with the initiator-role table (they are independent).
         model = _build_all(tiny_dataset)["GBMF"]
@@ -108,7 +109,8 @@ class TestTaskBTailoring:
 
 
 class TestRoleSeparation:
-    def test_gbmf_role_tables_independent(self, tiny_dataset):
+    def test_gbmf_role_tables_independent(self, tiny_dataset, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)  # needs dense tables
         model = _build_all(tiny_dataset)["GBMF"]
         emb = model.compute_embeddings()
         assert not np.allclose(emb.user.data, emb.participant.data)

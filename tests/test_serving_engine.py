@@ -290,7 +290,8 @@ class TestStatsAndStores:
             stats = engine.stats()
         # Serializable end to end (the bench embeds it verbatim).
         json.dumps(stats)
-        assert set(stats) == {"engine", "overload", "batcher", "stores", "cache"}
+        assert set(stats) == {"engine", "overload", "batcher", "stores", "cache",
+                              "memory"}
         assert stats["overload"]["accepted"] == 8
         assert stats["overload"]["rejected"] == 0
         assert stats["overload"]["shed"] == 0
@@ -300,6 +301,10 @@ class TestStatsAndStores:
         for entry in stats["stores"].values():
             assert entry["n_shards"] == 4
             assert "inner" in entry  # LRU wrapper nests the inner counters
+        memory = stats["memory"]
+        assert set(memory["stores"]) == set(stats["stores"])
+        assert memory["resident_bytes"] == sum(memory["stores"].values())
+        assert memory["resident_bytes"] > 0  # sharded buffers + cache payloads
         cache = stats["cache"]
         assert cache["stores"] == 3
         assert cache["hits"] + cache["misses"] > 0

@@ -165,7 +165,8 @@ class TestStoreParity:
         assert sharded.stats["max_shard_gather_rows"] == 1
         assert sharded.resident_rows() == [5, 5, 5, 5]
 
-    def test_make_store_layouts(self):
+    def test_make_store_layouts(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)  # default layouts
         assert isinstance(make_store(_table(), 0), DenseStore)
         assert isinstance(make_store(_table(), 1), DenseStore)
         assert isinstance(make_store(_table(), 2), ShardedStore)
@@ -186,7 +187,8 @@ def _logical_grad(store: ShardedStore) -> np.ndarray:
 # Embedding layer over stores
 # ---------------------------------------------------------------------------
 class TestEmbeddingDelegation:
-    def test_dense_default_keeps_weight_identity(self):
+    def test_dense_default_keeps_weight_identity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)  # weight identity
         emb = Embedding(6, 3, seed=0)
         assert emb.all() is emb.weight
         assert isinstance(emb.store, DenseStore)

@@ -116,7 +116,8 @@ class TestProcessStoreContract:
             with pytest.raises(ValueError, match="do not match the plan"):
                 store.gather(np.array([0], dtype=np.int64), plan=plan, role="users")
 
-    def test_make_store_service_layouts(self):
+    def test_make_store_service_layouts(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)  # default layouts
         values = _table()
         store = make_store(values, 0, service=True)
         assert isinstance(store, ProcessShardedStore) and store.n_shards == 1
@@ -255,7 +256,10 @@ class TestStats:
 # Model-level layout parity (the acceptance criterion)
 # ---------------------------------------------------------------------------
 class TestModelParity:
-    def test_gbmf_eval_metrics_bit_identical(self, tiny_dataset):
+    def test_gbmf_eval_metrics_bit_identical(self, tiny_dataset, monkeypatch):
+        # Bit-parity against an in-process float reference; the env
+        # lane would quantise only the reference (service is exempt).
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)
         protocol = EvalProtocol(tiny_dataset, n_negatives=5, cutoff=5, max_instances=40)
         dense = protocol.run(_gbmf(tiny_dataset)).flat()
         service_model = _gbmf(tiny_dataset, 3, service=True)
@@ -439,7 +443,8 @@ class TestServiceCheckpoints:
             _close_stores(src)
             _close_stores(dst)
 
-    def test_cross_layout_restore(self, tiny_dataset, tmp_path):
+    def test_cross_layout_restore(self, tiny_dataset, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTIZE", raising=False)  # float bit-parity
         """Service checkpoints restore into in-process layouts and back."""
         src = _gbmf(tiny_dataset, n_shards=2, service=True)
         dst = _gbmf(tiny_dataset, n_shards=4)  # in-process target
